@@ -1,0 +1,57 @@
+"""Shared infrastructure for the benchmark suite.
+
+Campaign results are cached per pytest session so Table 1, Figure 7a and
+Figure 7b (which all analyse the same fault-injection campaign, exactly as
+in the paper) run it once. ``REPRO_SCALE=full`` reproduces the paper-scale
+counts (1,000 single failures, 1,000 paired, 500 total-failure iterations,
+10,000 latency samples); the default "quick" scale keeps the suite in the
+minutes range.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from pathlib import Path
+
+from repro.bench import FailureCampaign
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL = os.environ.get("REPRO_SCALE", "quick").lower() == "full"
+
+SINGLE_FAILURES = 1000 if FULL else 25
+PAIRED_FAILURES = 1000 if FULL else 10
+TOTAL_FAILURE_ITERATIONS = 500 if FULL else 5
+LATENCY_ITERATIONS = 10_000 if FULL else 400
+CAMPAIGN_SEED = 2023
+
+
+@lru_cache(maxsize=None)
+def single_failure_campaign():
+    """The 48-hour / 1,000-failure campaign (scaled)."""
+    campaign = FailureCampaign(seed=CAMPAIGN_SEED, failures=SINGLE_FAILURES)
+    return campaign.run()
+
+
+@lru_cache(maxsize=None)
+def paired_failure_campaign():
+    campaign = FailureCampaign(
+        seed=CAMPAIGN_SEED + 1, failures=PAIRED_FAILURES, paired=True,
+        recovery_timeout=300.0,
+    )
+    return campaign.run()
+
+
+def save_report(name: str, text: str) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    return path
+
+
+def emit(name: str, text: str) -> None:
+    """Print and persist a rendered table/series."""
+    print()
+    print(text)
+    save_report(name, text)

@@ -1,0 +1,97 @@
+"""Ablation: cancellation elides work whose caller died (Section 4.4).
+
+A caller fans a blocking call into a busy callee actor; we kill the
+caller's component while the request is still queued. With cancellation
+enabled the runtime elides the execution and answers synthetically; without
+it the orphaned invocation runs to completion ("the computation of a result
+that is not needed anymore", Section 3.6).
+"""
+
+from repro.bench import render_table
+from repro.core import Actor, KarConfig, KarApplication, actor_proxy
+from repro.sim import Kernel
+
+from _shared import FULL, emit
+
+RUNS = 10 if FULL else 5
+
+
+class Fanout(Actor):
+    async def start(self, ctx):
+        return await ctx.call(actor_proxy("Busy", "worker"), "work", 4.0)
+
+
+class Busy(Actor):
+    executed = 0
+
+    async def work(self, ctx, duration):
+        Busy.executed += 1
+        await ctx.sleep(duration)
+        return "done"
+
+    async def occupy(self, ctx, duration):
+        await ctx.sleep(duration)
+        return "freed"
+
+
+def run_once(seed, cancellation):
+    Busy.executed = 0
+    kernel = Kernel(seed=seed)
+    app = KarApplication(
+        kernel,
+        KarConfig.fast_test().with_overrides(cancellation=cancellation),
+    )
+    app.register_actor(Fanout)
+    app.register_actor(Busy)
+    app.add_component("callers", ("Fanout",))
+    app.add_component("workers", ("Busy",))
+    client = app.client()
+    app.settle()
+    busy = actor_proxy("Busy", "worker")
+    # Occupy the worker so the caller's request stays queued.
+    occupier = kernel.spawn(
+        client.invoke(None, busy, "occupy", (8.0,), True),
+        process=client.process,
+    )
+    kernel.run(until=kernel.now + 0.5)
+    kernel.spawn(
+        client.invoke(None, actor_proxy("Fanout", "f"), "start", (), True),
+        process=client.process,
+    )
+    kernel.run(until=kernel.now + 0.5)
+    app.kill_component("callers")  # the caller dies with the call queued
+    kernel.run_until_complete(occupier, timeout=600.0)
+    kernel.run(until=kernel.now + 20.0)
+    elided = app.trace.count("invoke.elided")
+    return Busy.executed, elided
+
+
+def _sweep():
+    with_cancel = [run_once(seed, True) for seed in range(RUNS)]
+    without = [run_once(seed, False) for seed in range(RUNS)]
+    return with_cancel, without
+
+
+def test_cancellation_elides_orphaned_work(benchmark):
+    with_cancel, without = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    executed_on = sum(executed for executed, _ in with_cancel)
+    elided_on = sum(elided for _, elided in with_cancel)
+    executed_off = sum(executed for executed, _ in without)
+    elided_off = sum(elided for _, elided in without)
+    emit(
+        "ablation_cancellation.txt",
+        render_table(
+            ["Cancellation", "Runs", "Orphaned executions", "Elisions"],
+            [
+                ("enabled", RUNS, executed_on, elided_on),
+                ("disabled", RUNS, executed_off, elided_off),
+            ],
+            title="Ablation: cancellation of callees whose caller failed",
+        ),
+    )
+    benchmark.extra_info.update(
+        executed_with=executed_on, executed_without=executed_off
+    )
+    assert elided_on > 0
+    assert elided_off == 0
+    assert executed_on < executed_off  # wasted work avoided

@@ -1,0 +1,54 @@
+"""Ablation: reconciliation time scales with the unexpired message backlog.
+
+Section 4.3: "Reconciliation time increases with the number of recent
+messages hence application components. So for larger scale systems, a
+different implementation may be necessary." We sweep the order rate (which
+sets the retained backlog) and measure mean reconciliation time.
+"""
+
+from repro.bench import FailureCampaign, render_table
+from repro.reefer import ReeferConfig
+
+from _shared import FULL, emit
+
+RATES = (0.2, 0.5, 1.0, 2.0) if FULL else (0.2, 0.6, 1.2)
+FAILURES = 8 if FULL else 4
+
+
+def _sweep():
+    rows = []
+    for rate in RATES:
+        campaign = FailureCampaign(
+            seed=123,
+            failures=FAILURES,
+            reefer_config=ReeferConfig(
+                order_rate=rate, anomaly_rate=0.0, containers_per_depot=400
+            ),
+            min_gap=60.0,
+            max_gap=90.0,
+        )
+        result = campaign.run()
+        assert not result.invariant_violations, result.invariant_violations
+        stats = result.phase_stats()["Reconciliation"]
+        rows.append((rate, result.orders_submitted, stats["avg"],
+                     stats["max"]))
+    return rows
+
+
+def test_reconciliation_scales_with_backlog(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit(
+        "ablation_reconciliation.txt",
+        render_table(
+            ["Order rate (/s)", "Orders", "Reconciliation avg (s)",
+             "Reconciliation max (s)"],
+            rows,
+            title="Ablation: reconciliation time vs message backlog",
+            digits=2,
+        ),
+    )
+    averages = [row[2] for row in rows]
+    benchmark.extra_info["averages"] = [round(a, 2) for a in averages]
+    # Monotone growth with the injected load.
+    assert averages == sorted(averages)
+    assert averages[-1] > averages[0] * 1.2

@@ -1,0 +1,79 @@
+"""Ablation: tail call vs. nested call for chaining two steps.
+
+Section 2.4: "A tail call is a single message that semantically is both a
+request and a response." A two-step operation built from a nested call pays
+two extra queue trips (the callee's response and the caller's own
+response); the tail-call version pays one message per link. We measure both
+the round-trip latency and the broker message count per operation.
+"""
+
+from repro.bench import CLUSTER_PROD, render_table
+from repro.core import Actor, KarApplication, actor_proxy
+from repro.sim import Kernel
+
+from _shared import FULL, emit
+
+ITERATIONS = 500 if FULL else 120
+
+
+class Chained(Actor):
+    async def first_tail(self, ctx, v):
+        return ctx.tail_call(None, "second", v + 1)
+
+    async def first_nested(self, ctx, v):
+        return await ctx.call(ctx.self_ref, "second", v + 1)
+
+    async def second(self, ctx, v):
+        return v * 2
+
+
+def measure(method):
+    kernel = Kernel(seed=9)
+    app = KarApplication(kernel, CLUSTER_PROD.kar_config())
+    app.register_actor(Chained)
+    app.add_component("workers", ("Chained",))
+    client = app.client()
+    app.settle()
+    ref = actor_proxy("Chained", "x")
+    samples = []
+    produced_before = app.broker.produce_count
+
+    async def driver():
+        await client.invoke(None, ref, method, (0,), True)  # warm-up
+        for _ in range(ITERATIONS):
+            start = kernel.now
+            value = await client.invoke(None, ref, method, (20,), True)
+            assert value == 42
+            samples.append(kernel.now - start)
+
+    task = kernel.spawn(driver(), client.process)
+    kernel.run_until_complete(task, timeout=36000.0)
+    messages = (app.broker.produce_count - produced_before) / (ITERATIONS + 1)
+    samples.sort()
+    return samples[len(samples) // 2] * 1000.0, messages
+
+
+def test_tail_call_vs_nested_call_cost(benchmark):
+    (tail_ms, tail_msgs), (nested_ms, nested_msgs) = benchmark.pedantic(
+        lambda: (measure("first_tail"), measure("first_nested")),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "ablation_tailcall.txt",
+        render_table(
+            ["Chaining", "Median RTT (ms)", "Broker messages/op"],
+            [
+                ("tail call", tail_ms, tail_msgs),
+                ("nested call", nested_ms, nested_msgs),
+            ],
+            title="Ablation: tail call vs nested call (ClusterProd, 2 steps)",
+            digits=2,
+        ),
+    )
+    benchmark.extra_info.update(
+        tail_ms=round(tail_ms, 2), nested_ms=round(nested_ms, 2)
+    )
+    # The tail call needs fewer messages and is faster.
+    assert tail_msgs < nested_msgs
+    assert tail_ms < nested_ms

@@ -1,0 +1,42 @@
+"""Section 6.1's complete-application-failure scenario.
+
+"We performed 500 iterations of a complete application failure scenario
+where all application and runtime processes except the simulator were
+killed abruptly and then restarted after waiting for 30 seconds."
+"""
+
+from repro.bench import render_table
+from repro.bench.failure_harness import run_total_failure_iterations
+
+from _shared import TOTAL_FAILURE_ITERATIONS, emit
+
+
+def test_total_application_failure(benchmark):
+    outcome = benchmark.pedantic(
+        lambda: run_total_failure_iterations(
+            seed=99, iterations=TOTAL_FAILURE_ITERATIONS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "robustness_total.txt",
+        render_table(
+            ["Iterations", "Recovered", "Orders", "Violations"],
+            [(
+                outcome["iterations"],
+                outcome["recovered"],
+                outcome["details"].get("orders_submitted"),
+                len(outcome["violations"]),
+            )],
+            title=(
+                "Complete application failure: kill everything but the "
+                "simulators, wait 30 s, restart"
+            ),
+        ),
+    )
+    benchmark.extra_info.update(
+        iterations=outcome["iterations"], recovered=outcome["recovered"]
+    )
+    assert outcome["recovered"] == outcome["iterations"]
+    assert not outcome["violations"], outcome["violations"]

@@ -1,0 +1,66 @@
+"""Table 2: median round-trip message latency (milliseconds).
+
+Paper values:
+
+                 Direct HTTP  Kafka Only  KAR Actor  KAR Actor (no cache)
+    ClusterDev          2.60        4.35       6.62                  7.12
+    ClusterProd         2.60       10.62      13.41                 14.31
+    Managed             2.60       14.56      15.80                 18.06
+"""
+
+from repro.bench import LatencyHarness, PROFILES, render_table
+
+from _shared import LATENCY_ITERATIONS, emit
+
+PAPER = {
+    "ClusterDev": (2.60, 4.35, 6.62, 7.12),
+    "ClusterProd": (2.60, 10.62, 13.41, 14.31),
+    "Managed": (2.60, 14.56, 15.80, 18.06),
+}
+
+
+def _measure_all():
+    return [
+        LatencyHarness(profile, iterations=LATENCY_ITERATIONS, seed=5).row()
+        for profile in PROFILES
+    ]
+
+
+def test_table2_round_trip_latency(benchmark):
+    rows = benchmark.pedantic(_measure_all, rounds=1, iterations=1)
+    emit(
+        "table2_latency.txt",
+        render_table(
+            ["Config", "Direct HTTP", "Kafka Only", "KAR Actor",
+             "KAR Actor (no cache)"],
+            rows,
+            title=(
+                "Table 2: median round trip message latency (ms), "
+                f"{LATENCY_ITERATIONS} iterations"
+            ),
+            digits=2,
+        ),
+    )
+    for name, _http, kafka, kar, nocache in rows:
+        benchmark.extra_info[f"{name}_kar_ms"] = round(kar, 2)
+
+    by_name = {row[0]: row[1:] for row in rows}
+    for name, (http, kafka, kar, nocache) in by_name.items():
+        # Ordering: HTTP < Kafka < KAR < KAR-no-cache, in every config.
+        assert http < kafka < kar < nocache, name
+        paper_http, paper_kafka, paper_kar, paper_nocache = PAPER[name]
+        # Medians land within 10% of the paper's cells.
+        assert abs(kafka - paper_kafka) / paper_kafka < 0.10, name
+        assert abs(kar - paper_kar) / paper_kar < 0.10, name
+        assert abs(nocache - paper_nocache) / paper_nocache < 0.10, name
+
+    # Replicated Kafka costs 4-5.6x direct HTTP (Section 6.2).
+    assert 3.5 <= by_name["ClusterProd"][1] / by_name["ClusterProd"][0] <= 6.0
+    assert 4.5 <= by_name["Managed"][1] / by_name["Managed"][0] <= 6.5
+    # KAR adds < 20% over Kafka Only on Managed (the headline claim).
+    assert by_name["Managed"][2] / by_name["Managed"][1] < 1.20
+    # The placement cache matters most on Managed (remote Redis).
+    deltas = {
+        name: row[3] - row[2] for name, row in by_name.items()
+    }
+    assert deltas["Managed"] > deltas["ClusterProd"] > deltas["ClusterDev"]

@@ -1,0 +1,64 @@
+"""Model-checking the paper's Section 2.3 claims with the formal semantics.
+
+Explores EVERY execution of three increment implementations under injected
+failures and reports the reachable final counter values:
+
+- the tail-call ``incr`` (correct): always exactly +1;
+- the single-method read+write ``incr`` (incorrect): can double-increment;
+- the nested-call ``incr`` (incorrect): can double-increment.
+
+Also verifies Theorems 3.1-3.4 on every explored state and prints the
+counterexample trace for the unsafe variant.
+
+Usage::
+
+    python examples/model_checking.py
+"""
+
+from repro.semantics import Explorer, make_monitors
+from repro.semantics.examples import (
+    accumulator_nested,
+    accumulator_tail,
+    accumulator_unsafe,
+    final_counter,
+)
+
+
+def explore(name, example, failures=2):
+    program, init = example()
+    result = Explorer(
+        program, max_failures=failures, monitors=make_monitors()
+    ).explore(init)
+    counters = sorted(
+        {final_counter(state) for state in result.quiescent}
+    )
+    print(
+        f"{name:24s} states={result.states_visited:6d} "
+        f"final counters={counters}"
+    )
+    return result
+
+
+def main():
+    print(f"exploring all executions with up to 2 injected failures")
+    print(f"(Theorems 3.1-3.4 are checked on every state)\n")
+    explore("incr via tail call", accumulator_tail)
+    unsafe = explore("incr read+write inline", accumulator_unsafe)
+    explore("incr via nested call", accumulator_nested)
+
+    print("\ncounterexample for the inline variant (final counter = 2):")
+    witness = unsafe.find_quiescent(lambda s: final_counter(s) == 2)
+    assert witness is not None
+    _state, trace = witness
+    for step, (rule, detail) in enumerate(trace):
+        print(f"  {step:2d}. {rule:8s} {detail}")
+    print(
+        "\nThe failure lands after the store write but before the method"
+        "\ncompletes; the retry re-reads the incremented value and writes"
+        "\nagain -- exactly the corruption Section 2.3 predicts. The tail-"
+        "\ncall variant never reaches a counter other than 1."
+    )
+
+
+if __name__ == "__main__":
+    main()

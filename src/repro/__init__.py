@@ -1,0 +1,37 @@
+"""Reproduction of *Reliable Actors with Retry Orchestration* (KAR, PLDI 2023).
+
+The package is organised bottom-up:
+
+- :mod:`repro.sim` -- deterministic discrete-event simulation kernel.
+- :mod:`repro.mq` -- simulated Kafka (queues, consumer groups, fencing).
+- :mod:`repro.kvstore` -- simulated Redis (KV + CAS + fencing).
+- :mod:`repro.net` -- direct, non-reliable transport baseline.
+- :mod:`repro.core` -- the KAR runtime: actors, tail calls, retry
+  orchestration, reconciliation.
+- :mod:`repro.semantics` -- the paper's process calculus, executable, with a
+  bounded model checker for Theorems 3.1-3.4.
+- :mod:`repro.reefer` -- the Container Shipping enterprise application.
+- :mod:`repro.bench` -- harnesses regenerating every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (  # noqa: F401
+    Actor,
+    ActorRef,
+    KarApplication,
+    KarConfig,
+    TailCall,
+)
+from repro.sim import Kernel, SimProcess  # noqa: F401
+
+__all__ = [
+    "Actor",
+    "ActorRef",
+    "KarApplication",
+    "KarConfig",
+    "Kernel",
+    "SimProcess",
+    "TailCall",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Benchmark harnesses regenerating the paper's tables and figures."""
+
+from repro.bench.configs import (
+    CLUSTER_DEV,
+    CLUSTER_PROD,
+    MANAGED,
+    PROFILES,
+    ClusterProfile,
+    campaign_kar_config,
+)
+from repro.bench.failure_harness import CampaignResult, FailureCampaign
+from repro.bench.latency_harness import LatencyHarness
+from repro.bench.report import render_series, render_table
+from repro.bench.stats import summary_stats
+
+__all__ = [
+    "CLUSTER_DEV",
+    "CLUSTER_PROD",
+    "CampaignResult",
+    "ClusterProfile",
+    "FailureCampaign",
+    "LatencyHarness",
+    "MANAGED",
+    "PROFILES",
+    "campaign_kar_config",
+    "render_series",
+    "render_table",
+    "summary_stats",
+]

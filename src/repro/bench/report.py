@@ -1,0 +1,52 @@
+"""Plain-text table rendering for benchmark output.
+
+The benches print the same rows/series the paper reports so runs can be
+eyeballed against the original tables and figures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["format_value", "render_series", "render_table"]
+
+
+def format_value(value: Any, digits: int = 3) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str | None = None,
+    digits: int = 3,
+) -> str:
+    text_rows = [[format_value(cell, digits) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(line(["-" * width for width in widths]))
+    for row in text_rows:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def render_series(
+    name: str, points: Iterable[tuple[Any, ...]], columns: Sequence[str],
+    digits: int = 3,
+) -> str:
+    """A figure rendered as its data series (one row per point)."""
+    return render_table(columns, points, title=name, digits=digits)

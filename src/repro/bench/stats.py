@@ -1,0 +1,32 @@
+"""Summary statistics matching the paper's Table 1 columns."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+__all__ = ["summary_stats"]
+
+
+def summary_stats(values: Iterable[float]) -> dict:
+    """Average, StdDev, Median, Min, Max -- the Table 1 columns."""
+    data = sorted(values)
+    if not data:
+        return {"count": 0, "avg": None, "std": None, "median": None,
+                "min": None, "max": None}
+    count = len(data)
+    mean = sum(data) / count
+    variance = sum((x - mean) ** 2 for x in data) / count
+    middle = count // 2
+    if count % 2:
+        median = data[middle]
+    else:
+        median = (data[middle - 1] + data[middle]) / 2
+    return {
+        "count": count,
+        "avg": mean,
+        "std": math.sqrt(variance),
+        "median": median,
+        "min": data[0],
+        "max": data[-1],
+    }

@@ -1,0 +1,54 @@
+"""The KAR runtime: actors, tail calls, retry orchestration, reconciliation.
+
+Public surface:
+
+- :class:`KarApplication` -- wire up infrastructure and components;
+- :class:`Actor` -- base class for application actors;
+- :class:`ActorRef` / :func:`actor_proxy` -- actor references;
+- :class:`ActorContext` -- per-invocation API (call / tell / tail_call /
+  state / reminders), handed to every actor method;
+- :class:`KarConfig` -- timing parameters and feature flags;
+- :class:`TailCall` -- the value an actor method returns to chain work;
+- errors: :class:`ActorMethodError`, :class:`InvocationCancelled`,
+  :class:`NoPlacementError`.
+"""
+
+from repro.core.actor import Actor, ActorRegistry
+from repro.core.app import KarApplication
+from repro.core.config import KarConfig
+from repro.core.context import ActorContext
+from repro.core.dispatcher import ActorMailbox
+from repro.core.envelope import Request, Response, TailCall
+from repro.core.errors import (
+    ActorMethodError,
+    InvocationCancelled,
+    KarError,
+    NoPlacementError,
+)
+from repro.core.placement import PlacementService
+from repro.core.refs import ActorRef, actor_proxy
+from repro.core.reminders import ReminderAPI
+from repro.core.runtime import Component
+from repro.core.state import ActorStateAPI
+
+__all__ = [
+    "Actor",
+    "ActorContext",
+    "ActorMailbox",
+    "ActorMethodError",
+    "ActorRef",
+    "ActorRegistry",
+    "ActorStateAPI",
+    "Component",
+    "InvocationCancelled",
+    "KarApplication",
+    "KarConfig",
+    "KarError",
+    "NoPlacementError",
+    "PlacementService",
+    "ReminderAPI",
+    "Request",
+    "Response",
+    "TailCall",
+    "actor_proxy",
+]

@@ -1,0 +1,160 @@
+"""Top-level application wiring: broker + store + components + clients.
+
+A :class:`KarApplication` owns the simulated infrastructure (one Kafka-like
+broker, one Redis-like store, one consumer group per application) and the
+set of components, and offers the external-client call surface plus failure
+injection (kill / restart a component) used by tests and the benchmark
+harnesses.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.actor import Actor, ActorRegistry
+from repro.core.config import KarConfig
+from repro.core.refs import ActorRef
+from repro.core.runtime import Component
+from repro.kvstore import KVStore
+from repro.mq import Broker, GroupCoordinator
+from repro.sim import Kernel, TraceRecorder
+
+__all__ = ["KarApplication"]
+
+
+class _IdGenerator:
+    """Monotonic, deterministic request ids."""
+
+    def __init__(self, prefix: str = "r"):
+        self._prefix = prefix
+        self._counter = 0
+
+    def fresh(self) -> str:
+        self._counter += 1
+        return f"{self._prefix}{self._counter:06d}"
+
+
+class KarApplication:
+    """One KAR application: infrastructure, components, and clients."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        config: KarConfig | None = None,
+        name: str = "app",
+    ):
+        self.kernel = kernel
+        self.config = config or KarConfig()
+        self.name = name
+        self.topic_name = f"{name}-topic"
+        self.broker = Broker(kernel, self.config.broker)
+        self.store = KVStore(kernel, self.config.store_latency)
+        self.coordinator = GroupCoordinator(self.broker, name, self.topic_name)
+        self.registry = ActorRegistry()
+        self.trace = TraceRecorder(kernel)
+        self.ids = _IdGenerator()
+        self.components: dict[str, Component] = {}
+        self.component_types: dict[str, frozenset[str]] = {}
+        self._epochs: dict[str, int] = {}
+        self._client: Component | None = None
+        self.reminders_in_use = False
+        self.external_services: list[Any] = []
+
+    def register_external_service(self, service: Any) -> Any:
+        """Register a stateful service actors interact with directly.
+
+        KAR requires *forceful disconnection* for every stateful service in
+        use (Sections 1, 2.3): reconciliation fences failed components on
+        each registered service, so their lingering operations cannot land.
+        The service must expose ``fence(client_id)``.
+        """
+        self.external_services.append(service)
+        return service
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def register_actor(self, actor_class: type[Actor], name: str | None = None) -> str:
+        """Make an actor type available for hosting by components."""
+        return self.registry.register(actor_class, name)
+
+    def add_component(
+        self, name: str, actor_types: tuple[str, ...] = ()
+    ) -> Component:
+        """Create and start a component announcing the given actor types."""
+        for actor_type in actor_types:
+            if actor_type not in self.registry:
+                raise ValueError(f"actor type {actor_type!r} is not registered")
+        if name in self.components and self.components[name].alive:
+            raise ValueError(f"component {name!r} is already running")
+        epoch = self._epochs.get(name, -1) + 1
+        self._epochs[name] = epoch
+        component = Component(self, name, tuple(actor_types), epoch)
+        self.components[name] = component
+        self.component_types[name] = frozenset(actor_types)
+        return component.start()
+
+    # ------------------------------------------------------------------
+    # failure injection
+    # ------------------------------------------------------------------
+    def kill_component(self, name: str) -> None:
+        """Abrupt fail-stop of a component (both paired processes)."""
+        self.components[name].fail()
+
+    def restart_component(self, name: str) -> Component:
+        """Spawn a fresh incarnation (new member id, new queue) of a
+        previously-added component, as a restarted node's replicas would."""
+        types = tuple(sorted(self.component_types[name]))
+        old = self.components.get(name)
+        if old is not None and old.alive:
+            raise ValueError(f"component {name!r} is still alive")
+        epoch = self._epochs[name] + 1
+        self._epochs[name] = epoch
+        component = Component(self, name, types, epoch)
+        self.components[name] = component
+        return component.start()
+
+    # ------------------------------------------------------------------
+    # external clients
+    # ------------------------------------------------------------------
+    def client(self, name: str = "client") -> Component:
+        """A component hosting no actors, used to drive the application
+        (the paper's simulators / WebAPI run as such components)."""
+        if self._client is None or not self._client.alive:
+            self._client = self.add_component(name)
+        return self._client
+
+    async def call(self, ref: ActorRef, method: str, *args: Any) -> Any:
+        """Blocking root invocation from the default external client."""
+        return await self.client().invoke(None, ref, method, tuple(args), True)
+
+    async def tell(self, ref: ActorRef, method: str, *args: Any) -> None:
+        await self.client().invoke(None, ref, method, tuple(args), False)
+
+    # ------------------------------------------------------------------
+    # synchronous driving helpers (tests, benches)
+    # ------------------------------------------------------------------
+    def run_call(
+        self, ref: ActorRef, method: str, *args: Any, timeout: float | None = 600.0
+    ) -> Any:
+        client = self.client()
+        task = self.kernel.spawn(
+            client.invoke(None, ref, method, tuple(args), True),
+            process=client.process,
+            name=f"client.call:{ref}.{method}",
+        )
+        return self.kernel.run_until_complete(task, timeout=timeout)
+
+    def settle(self, max_wait: float = 120.0) -> None:
+        """Drive the kernel until the group has a generation and is
+        unpaused (the application is ready to process invocations)."""
+        deadline = self.kernel.now + max_wait
+        while self.coordinator.generation == 0 or self.coordinator.paused:
+            if self.kernel.now >= deadline:
+                raise TimeoutError("application did not settle")
+            self.kernel.run(until=min(self.kernel.now + 0.5, deadline))
+
+    def live_component_names(self) -> list[str]:
+        return sorted(
+            member.rsplit("#", 1)[0] for member in self.coordinator.members
+        )

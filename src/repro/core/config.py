@@ -1,0 +1,81 @@
+"""Runtime configuration.
+
+One :class:`KarConfig` bundles every tunable the evaluation varies: broker
+and store latencies (the ClusterDev / ClusterProd / Managed configurations of
+Table 2), the sidecar hop cost, the failure-detection parameters (heartbeat,
+session timeout), reconciliation cost coefficients, and the feature flags the
+paper discusses (placement cache, cancellation, retry orchestration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.mq import BrokerConfig
+from repro.sim import Latency
+
+__all__ = ["KarConfig"]
+
+
+@dataclass(frozen=True)
+class KarConfig:
+    """All timing parameters and feature flags for one application run."""
+
+    # --- messaging (simulated Kafka) -------------------------------------
+    broker: BrokerConfig = field(default_factory=BrokerConfig)
+
+    # --- persistence (simulated Redis) ------------------------------------
+    store_latency: Latency = Latency.fixed(0.0005)
+
+    # --- sidecar architecture ---------------------------------------------
+    # One app<->runtime HTTP hop (Section 4.1: paired processes on one node).
+    sidecar_latency: Latency = Latency.fixed(0.00025)
+    # Fixed bookkeeping per actor invocation (id allocation, lock handling).
+    invoke_overhead: Latency = Latency.fixed(0.0002)
+
+    # --- feature flags ------------------------------------------------------
+    placement_cache: bool = True  # Table 2 "no cache" disables this
+    cancellation: bool = True  # Section 4.4: elide callees of dead callers
+    orchestrate_retries: bool = True  # False = at-least-once baseline (Fig 2b)
+    # Section 4.3's future-work alternative: atomically (1) send the caller
+    # the result and (2) log its completion in the callee's queue, using a
+    # message-queue transaction. Completion evidence then lives in the same
+    # queue as the request it completes, so failed components' queues can be
+    # discarded eagerly instead of waiting for retention expiry.
+    completion_log: bool = False
+
+    # --- reconciliation cost model (Section 4.3) ---------------------------
+    # Leader-side work: fixed setup plus a per-catalogued-message scan cost
+    # plus a per-copied-request cost. "Reconciliation time increases with the
+    # number of recent messages."
+    reconcile_base: Latency = Latency.fixed(0.5)
+    reconcile_per_message: float = 0.002
+    reconcile_per_copy: float = 0.01
+
+    # --- reminders -----------------------------------------------------------
+    reminder_tick: float = 0.5
+
+    def with_overrides(self, **overrides) -> "KarConfig":
+        return replace(self, **overrides)
+
+    @staticmethod
+    def fast_test() -> "KarConfig":
+        """Small latencies and an aggressive failure detector so recovery
+        unit tests complete in milliseconds of simulated time."""
+        return KarConfig(
+            broker=BrokerConfig(
+                produce_latency=Latency.fixed(0.001),
+                consume_latency=Latency.fixed(0.0005),
+                heartbeat_interval=0.3,
+                session_timeout=1.0,
+                watchdog_interval=0.1,
+                rebalance_join_window=0.2,
+                rebalance_sync_latency=Latency.around(0.05, 0.02),
+                retention_seconds=600.0,
+            ),
+            store_latency=Latency.fixed(0.0005),
+            reconcile_base=Latency.fixed(0.05),
+            reconcile_per_message=0.0001,
+            reconcile_per_copy=0.0005,
+            reminder_tick=0.1,
+        )

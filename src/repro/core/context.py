@@ -1,0 +1,121 @@
+"""The invocation context handed to every actor method.
+
+Mirrors the paper's SDK surface (Section 2): nested blocking calls
+(``actor.call`` with the extra ``this`` argument -- carried implicitly here),
+asynchronous tells, tail calls, the persistence API, and reminders. The
+context knows the current request id and ancestor chain, which is exactly the
+information the paper's SDKs thread through the explicit ``this`` parameter
+so the runtime can permit reentrancy and orchestrate retries.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.core.envelope import Request, TailCall
+from repro.core.refs import ActorRef, actor_proxy
+from repro.core.state import ActorStateAPI
+
+if TYPE_CHECKING:
+    from repro.core.runtime import Component
+
+__all__ = ["ActorContext"]
+
+
+class ActorContext:
+    """Per-invocation capability object (first parameter of actor methods)."""
+
+    def __init__(self, component: "Component", request: Request):
+        self._component = component
+        self._request = request
+
+    # ------------------------------------------------------------------
+    # identity and environment
+    # ------------------------------------------------------------------
+    @property
+    def self_ref(self) -> ActorRef:
+        """Reference to the actor this method runs on (the paper's ``this``)."""
+        return self._request.actor
+
+    @property
+    def request_id(self) -> str:
+        return self._request.request_id
+
+    @property
+    def now(self) -> float:
+        return self._component.kernel.now
+
+    actor_proxy = staticmethod(actor_proxy)
+
+    # ------------------------------------------------------------------
+    # invocations
+    # ------------------------------------------------------------------
+    async def call(self, ref: ActorRef, method: str, *args: Any) -> Any:
+        """Nested blocking invocation (``actor.call(this, ref, method, ...)``).
+
+        The runtime suspends this frame until the callee's response arrives;
+        exceptions raised by the callee propagate here. The caller identity
+        travels with the request so reentrant calls back into this call stack
+        bypass the queue (Section 2.2).
+        """
+        return await self._component.invoke(
+            caller=self._request, ref=ref, method=method, args=args,
+            expects_reply=True,
+        )
+
+    async def tell(self, ref: ActorRef, method: str, *args: Any) -> None:
+        """Asynchronous invocation: waits only for the request to be durably
+        acknowledged by the message queue. Exceptions in the callee are
+        logged and discarded (Section 2)."""
+        await self._component.invoke(
+            caller=self._request, ref=ref, method=method, args=args,
+            expects_reply=False,
+        )
+
+    def tail_call(self, ref: ActorRef | None, method: str, *args: Any) -> TailCall:
+        """Build a tail call: *return* this value from the method body.
+
+        ``ref=None`` targets the current actor (the common
+        ``actor.tailCall(this, ...)`` form); a tail call to self retains the
+        actor lock across the transition (Section 2.3).
+        """
+        target = ref if ref is not None else self.self_ref
+        return TailCall(target, method, tuple(args))
+
+    # ------------------------------------------------------------------
+    # persistence and reminders
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> ActorStateAPI:
+        """Persisted state of the current actor instance (``actor.state``)."""
+        return ActorStateAPI(self._component.store_client, self.self_ref)
+
+    def state_of(self, ref: ActorRef) -> ActorStateAPI:
+        """State API for another instance (used by activate helpers/tests)."""
+        return ActorStateAPI(self._component.store_client, ref)
+
+    @property
+    def reminders(self):
+        """Time-delayed, possibly periodic tells (Section 2)."""
+        from repro.core.reminders import ReminderAPI
+
+        return ReminderAPI(self._component)
+
+    @property
+    def component_name(self) -> str:
+        return self._component.name
+
+    @property
+    def member_id(self) -> str:
+        """The hosting component's member identity (its fencing identity)."""
+        return self._component.member_id
+
+    def external(self, service) -> Any:
+        """Client for an external stateful service, bound to this
+        component's identity so forceful disconnection applies (Section 2.3).
+        The service must expose ``client(client_id)``."""
+        return service.client(self._component.member_id)
+
+    async def sleep(self, delay: float) -> None:
+        """Simulated-time sleep (stands in for real work in examples)."""
+        await self._component.kernel.sleep(delay)

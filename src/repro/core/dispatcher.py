@@ -1,0 +1,83 @@
+"""Per-actor mailboxes: single-threaded execution, reentrancy, tail locks.
+
+KAR actors are single-threaded and reentrant (Section 2.2): invocations are
+queued and processed one at a time in queue order, *except* that an
+invocation reaching the actor through a stack of nested calls rooted at the
+current lock holder bypasses the queue and runs immediately. A tail call to
+the same actor retains the lock (Section 2.3) so nothing can interleave
+between the links of a tail-call chain on one actor.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.envelope import Request
+
+__all__ = ["ActorMailbox"]
+
+
+class ActorMailbox:
+    """Lock state and pending queue for one actor instance on one component.
+
+    ``lock_root`` is the request id of the chain currently owning the actor;
+    ``stack`` holds the ids of every frame of that logical call stack that is
+    currently open on *this* actor (the root plus any reentrant frames).
+    """
+
+    def __init__(self):
+        self.lock_root: str | None = None
+        self.stack: set[str] = set()
+        self.pending: deque[Request] = deque()
+
+    def try_admit(self, request: Request) -> bool:
+        """Return True if ``request`` may execute now; else queue it.
+
+        Admission rules, in order:
+
+        1. the actor is idle -> acquire the lock;
+        2. the request *is* the lock holder (a tail call to self reuses the
+           caller's request id; so does a recovery copy of the interrupted
+           lock holder, which preserves the persisted lock across failures);
+        3. the request is nested in a frame already on this actor's stack
+           (reentrancy: it runs immediately, bypassing the queue);
+        4. otherwise wait in queue order.
+        """
+        if self.lock_root is None:
+            self.lock_root = request.request_id
+            self.stack.add(request.request_id)
+            return True
+        if request.request_id == self.lock_root:
+            self.stack.add(request.request_id)
+            return True
+        if any(ancestor in self.stack for ancestor in request.ancestors):
+            self.stack.add(request.request_id)
+            return True
+        self.pending.append(request)
+        return False
+
+    def complete_frame(self, request: Request, tail_to_self: bool) -> Request | None:
+        """Mark a frame finished; return the next request to start, if any.
+
+        With ``tail_to_self`` the lock is *retained*: the successor (same
+        request id) will be re-admitted by rule 2, and no queued invocation
+        can slip in between (Section 2.3's serialization guarantee).
+        """
+        self.stack.discard(request.request_id)
+        if request.request_id != self.lock_root:
+            return None  # a reentrant frame closed; the root still owns us
+        if tail_to_self:
+            return None  # lock retained for the tail call's arrival
+        if self.stack:
+            return None  # outer frames of the chain still open
+        self.lock_root = None
+        if not self.pending:
+            return None
+        successor = self.pending.popleft()
+        self.lock_root = successor.request_id
+        self.stack.add(successor.request_id)
+        return successor
+
+    @property
+    def idle(self) -> bool:
+        return self.lock_root is None and not self.pending

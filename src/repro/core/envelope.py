@@ -1,0 +1,91 @@
+"""Wire-format envelopes for invocation requests and responses.
+
+An envelope corresponds to a message in the formal semantics (Section 3.2):
+a request carries ``(request id, return address, a.m(v))`` and a response
+carries ``(request id, return address, v)``. The implementation adds the
+fields Section 4 describes: the caller's queue for response routing, the
+caller's component for cancellation, the ancestor chain for reentrancy, the
+pending-callee annotation written by reconciliation (happen-before), and a
+step counter so a tail call (which reuses the caller's request id) supersedes
+the request it completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.core.refs import ActorRef
+
+__all__ = ["Request", "Response", "TailCall"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """An invocation request bound for the callee component's queue."""
+
+    request_id: str
+    step: int
+    actor: ActorRef
+    method: str
+    args: tuple
+    return_address: str | None  # caller's request id; None for tell / root
+    reply_to: str | None  # member id whose queue receives the response
+    caller_actor: ActorRef | None  # for response re-routing after failures
+    caller_member: str | None  # for the cancellation liveness check
+    ancestors: tuple[str, ...] = ()  # request-id chain, root first
+    tail_lock: bool = False  # tail call to self: retain the actor lock
+    after_callee: str | None = None  # happen-before postponement (recovery)
+    copy_epoch: int = 0  # generation that copied this request (0 = original)
+    expects_reply: bool = True  # False for tell (response self-acks only)
+
+    @property
+    def dedup_key(self) -> tuple[str, int]:
+        """Requests are deduplicated by (id, step): reconciliation may copy
+        the same pending request more than once if it is itself interrupted
+        ("request messages already copied ... are skipped", Section 4.3)."""
+        return (self.request_id, self.step)
+
+    def tail_successor(
+        self, actor: ActorRef, method: str, args: tuple, current: ActorRef
+    ) -> "Request":
+        """The single message that atomically completes this request while
+        issuing the next one (Section 2.3): same id, same return address,
+        bumped step; the lock is retained iff the callee is the caller."""
+        return replace(
+            self,
+            step=self.step + 1,
+            actor=actor,
+            method=method,
+            args=args,
+            tail_lock=(actor == current),
+            after_callee=None,
+            copy_epoch=0,
+        )
+
+    def recovery_copy(self, epoch: int, after_callee: str | None) -> "Request":
+        return replace(self, copy_epoch=epoch, after_callee=after_callee)
+
+
+@dataclass(frozen=True)
+class Response:
+    """A result (or propagated error / synthetic cancellation) message."""
+
+    request_id: str
+    value: Any = None
+    error: str | None = None
+    cancelled: bool = False
+
+
+@dataclass(frozen=True)
+class TailCall:
+    """Sentinel returned from an actor method to request a tail call.
+
+    Built by :meth:`ActorContext.tail_call`; the runtime recognizes it and
+    atomically records the completion of the current invocation together
+    with the request to invoke the target (Section 2.3).
+    """
+
+    actor: ActorRef
+    method: str
+    args: tuple

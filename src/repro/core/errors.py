@@ -1,0 +1,37 @@
+"""Errors surfaced by the KAR runtime."""
+
+__all__ = [
+    "ActorMethodError",
+    "InvocationCancelled",
+    "KarError",
+    "NoPlacementError",
+]
+
+
+class KarError(Exception):
+    """Base class for runtime-level failures."""
+
+
+class ActorMethodError(KarError):
+    """An application exception propagated from callee to caller.
+
+    Per Section 2, exceptions in ``actor.call`` are propagated to callers
+    (they are *results*, not faults -- the runtime does not retry them);
+    exceptions in ``actor.tell`` are logged and discarded.
+    """
+
+    def __init__(self, message: str):
+        super().__init__(message)
+        self.message = message
+
+
+class InvocationCancelled(KarError):
+    """Synthetic response for a nested call whose caller's component failed.
+
+    Raised at the (retried) caller when cancellation is enabled and the
+    callee's execution was elided (Section 4.4).
+    """
+
+
+class NoPlacementError(KarError):
+    """No live component supports the requested actor type."""

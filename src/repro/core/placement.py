@@ -1,0 +1,75 @@
+"""Actor placement: compare-and-swap on the store, plus a local cache.
+
+Runtime processes coordinate actor placement using a CAS on the persistent
+store; each runtime keeps a placement cache invalidated on component
+failures (Section 4.1). Table 2's "KAR Actor (no cache)" row disables the
+cache, paying one store round trip per invocation.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import NoPlacementError
+from repro.core.refs import ActorRef
+from repro.kvstore import StoreClient
+
+__all__ = ["PlacementService", "placement_key"]
+
+
+def placement_key(ref: ActorRef) -> str:
+    return f"placement:{ref.type}:{ref.id}"
+
+
+class PlacementService:
+    """Per-component placement client.
+
+    Placement values are *component names* (stable across restarts); the
+    caller resolves a name to the live member incarnation.
+    """
+
+    def __init__(self, client: StoreClient, cache_enabled: bool = True):
+        self._client = client
+        self._cache_enabled = cache_enabled
+        self._cache: dict[ActorRef, str] = {}
+
+    def invalidate_components(self, component_names: set[str]) -> None:
+        """Drop cache entries pointing at failed components."""
+        stale = [
+            ref for ref, name in self._cache.items() if name in component_names
+        ]
+        for ref in stale:
+            del self._cache[ref]
+
+    def invalidate_all(self) -> None:
+        self._cache.clear()
+
+    def cache_peek(self, ref: ActorRef) -> str | None:
+        return self._cache.get(ref) if self._cache_enabled else None
+
+    async def resolve(self, ref: ActorRef, candidates: list[str]) -> str:
+        """Return the component name hosting ``ref``, placing it if needed.
+
+        ``candidates`` are the live component names that support the actor's
+        type. The cache short-circuits the store on most invocations; cache
+        misses read the store and, when the actor is unplaced (or placed on
+        a component that no longer exists), race a CAS to claim it.
+        """
+        if not candidates:
+            raise NoPlacementError(f"no live component supports {ref.type!r}")
+        cached = self.cache_peek(ref)
+        if cached is not None and cached in candidates:
+            return cached
+        key = placement_key(ref)
+        while True:
+            current = await self._client.get(key)
+            if current is not None and current in candidates:
+                self._remember(ref, current)
+                return current
+            chosen = candidates[ref.stable_hash() % len(candidates)]
+            if await self._client.cas(key, current, chosen):
+                self._remember(ref, chosen)
+                return chosen
+            # Lost the race; loop and adopt whatever won.
+
+    def _remember(self, ref: ActorRef, component: str) -> None:
+        if self._cache_enabled:
+            self._cache[ref] = component

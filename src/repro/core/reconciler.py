@@ -1,0 +1,224 @@
+"""Reconciliation: the leader-driven recovery algorithm of Section 4.3.
+
+When membership changes, the elected leader:
+
+1. catalogs all unexpired messages across the application topic;
+2. discards requests with a matching response or a superseding tail call
+   (a later request with the same id);
+3. identifies pending requests stranded in failed components' queues,
+   re-places their actors (CAS on the store), and copies the requests to the
+   chosen live components -- moving tail-calls-to-self to the front, per the
+   formal semantics' (tail-self) rule;
+4. transposes the callee->caller map: a copied request that had a live
+   nested call is annotated with the callee's id, so the receiving runtime
+   postpones the retry until the callee's response arrives (happen-before);
+5. fences failed components at the store (forceful disconnection) and
+   discards their queues;
+6. resumes the group.
+
+A failure during reconciliation kills the leader, which produces a new
+generation whose leader simply restarts reconciliation; copies are
+idempotent (consumers deduplicate by request id and step).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.envelope import Request, Response
+from repro.mq import GenerationInfo
+
+if TYPE_CHECKING:
+    from repro.core.runtime import Component
+
+__all__ = ["Reconciler", "UNPLACED_PARTITION"]
+
+#: Queue for pending requests whose actor type has no live host; revisited
+#: every reconciliation ("KAR queues requests to unavailable types
+#: separately, revisiting this queue when new components are added").
+UNPLACED_PARTITION = "_unplaced"
+
+
+class Reconciler:
+    """One reconciliation attempt, run on the leader component's process."""
+
+    def __init__(self, component: "Component"):
+        self.component = component
+        self.app = component.app
+        self.kernel = component.kernel
+        self.config = component.config
+
+    async def run(self, info: GenerationInfo) -> None:
+        component = self.component
+        coordinator = component.coordinator
+        topic = self.app.broker.topic(self.app.topic_name)
+        trace = component.trace
+
+        catalog = topic.snapshot_unexpired(self.kernel.now)
+        scan_cost = self.config.reconcile_base.sample(
+            self.kernel.rng
+        ) + self.config.reconcile_per_message * len(catalog)
+        trace.emit(
+            "reconcile.start",
+            generation=info.generation,
+            leader=component.member_id,
+            cataloged=len(catalog),
+            failed=list(info.failed),
+        )
+        await self.kernel.sleep(scan_cost)
+
+        live_members = set(info.members)
+        responses: set[str] = set()
+        latest_request: dict[str, tuple[str, Request]] = {}
+        children: dict[str, list[str]] = {}
+        for record in catalog:
+            envelope = record.value
+            if isinstance(envelope, Response):
+                responses.add(envelope.request_id)
+            elif isinstance(envelope, Request):
+                current = latest_request.get(envelope.request_id)
+                if (
+                    current is None
+                    or envelope.step > current[1].step
+                    or (
+                        # Same step, but this copy sits in a live queue:
+                        # the request is already in a survivor's hands and
+                        # must not be copied again.
+                        envelope.step == current[1].step
+                        and current[0] not in live_members
+                        and record.partition in live_members
+                    )
+                ):
+                    latest_request[envelope.request_id] = (
+                        record.partition,
+                        envelope,
+                    )
+                if envelope.return_address is not None:
+                    children.setdefault(envelope.return_address, [])
+                    if envelope.request_id not in children[envelope.return_address]:
+                        children[envelope.return_address].append(
+                            envelope.request_id
+                        )
+
+        # Pending = no matching response; stranded = latest record sits in a
+        # queue whose owner is no longer a group member.
+        stranded = [
+            (partition, request)
+            for request_id, (partition, request) in latest_request.items()
+            if request_id not in responses and partition not in live_members
+        ]
+        # Formal (tail-self) ordering: tail calls that own their actor's lock
+        # recover first, then everything else in arrival order.
+        stranded.sort(key=lambda item: (not item[1].tail_lock, item[1].request_id))
+
+        copies: list[tuple[str, Request]] = []
+        unplaced: list[Request] = []
+        for _partition, request in stranded:
+            candidates = component._live_candidates(request.actor.type)
+            if not candidates:
+                unplaced.append(request)
+                continue
+            target_name = await component.placement.resolve(
+                request.actor, candidates
+            )
+            target_member = component._live_incarnation(target_name)
+            if target_member is None:
+                unplaced.append(request)
+                continue
+            if self.config.orchestrate_retries:
+                after_callee = self._pending_callee(
+                    request, children, responses
+                )
+            else:
+                # At-least-once baseline (Figure 2b): redeliver immediately,
+                # letting retries overlap live callees from prior attempts.
+                after_callee = None
+            copies.append(
+                (target_member, request.recovery_copy(info.generation, after_callee))
+            )
+
+        await self.kernel.sleep(self.config.reconcile_per_copy * max(len(copies), 1))
+
+        # Abort if a newer generation exists: its leader owns recovery now,
+        # and we must not drop queues it still needs to catalog.
+        if coordinator.generation != info.generation:
+            trace.emit("reconcile.superseded", generation=info.generation)
+            return
+
+        for target_member, request in copies:
+            self.app.broker.produce_internal(
+                self.app.topic_name, target_member, request
+            )
+            trace.emit(
+                "reconcile.copy",
+                request=request.request_id,
+                step=request.step,
+                target=target_member,
+                after_callee=request.after_callee,
+            )
+
+        # Rebuild the unplaced queue from scratch (idempotent on restart).
+        topic.drop_partition(UNPLACED_PARTITION)
+        for request in unplaced:
+            self.app.broker.produce_internal(
+                self.app.topic_name, UNPLACED_PARTITION, request
+            )
+            trace.emit(
+                "reconcile.unplaced",
+                request=request.request_id,
+                actor_type=request.actor.type,
+            )
+
+        # Forcefully disconnect failed components from the store and every
+        # registered external service. Dead queues are NOT discarded while
+        # they still hold unexpired messages: responses and superseding tail
+        # calls in them are the evidence that keeps later reconciliations
+        # from re-running completed work (completed invocations are never
+        # repeated). Retention expires them; empty queues are then dropped
+        # ("discarded or flushed for later reuse", Section 4.3).
+        dead_partitions = [
+            partition
+            for partition in list(topic.partitions)
+            if partition not in live_members and partition != UNPLACED_PARTITION
+        ]
+        dropped = 0
+        for partition in dead_partitions:
+            self.app.store.fence(partition)
+            self.app.broker.fence(partition)
+            for service in self.app.external_services:
+                service.fence(partition)
+            if self.config.completion_log:
+                # Every request carries its completion evidence in its own
+                # queue (the transactional completion log), and stranded
+                # requests were just copied out -- so the dead queue can be
+                # discarded immediately.
+                topic.drop_partition(partition)
+                dropped += 1
+                continue
+            remaining = topic.partition(partition).unexpired(self.kernel.now)
+            if not remaining:
+                topic.drop_partition(partition)
+                dropped += 1
+
+        trace.emit(
+            "reconcile.end",
+            generation=info.generation,
+            copied=len(copies),
+            unplaced=len(unplaced),
+            dropped=dropped,
+        )
+        coordinator.resume(info.generation)
+
+    @staticmethod
+    def _pending_callee(
+        request: Request,
+        children: dict[str, list[str]],
+        responses: set[str],
+    ) -> str | None:
+        """Transpose the callee->caller map (Section 4.3): if the stranded
+        caller has a nested call without a response, the retry must wait for
+        it. A KAR task has at most one live child (blocking nested calls)."""
+        for child_id in children.get(request.request_id, ()):    # oldest first
+            if child_id not in responses:
+                return child_id
+        return None

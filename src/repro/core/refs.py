@@ -1,0 +1,35 @@
+"""Actor references.
+
+An actor is identified by its type and a unique instance id (Section 2).
+``actor_proxy`` synthesizes a reference; multiple calls with the same
+parameters yield equal references to the same instance. Proxies never
+instantiate actors -- instantiation happens implicitly on first invocation.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+__all__ = ["ActorRef", "actor_proxy"]
+
+
+@dataclass(frozen=True, order=True)
+class ActorRef:
+    """Reference to an actor instance: ``(type, instance id)``."""
+
+    type: str
+    id: str
+
+    def stable_hash(self) -> int:
+        """Deterministic hash (Python's builtin str hash is salted per
+        process; placement decisions must be reproducible across runs)."""
+        return zlib.crc32(f"{self.type}:{self.id}".encode())
+
+    def __str__(self) -> str:
+        return f"{self.type}[{self.id}]"
+
+
+def actor_proxy(actor_type: str, instance_id: str) -> ActorRef:
+    """Synthesize a reference to an actor instance (``actor.proxy``)."""
+    return ActorRef(actor_type, instance_id)

@@ -1,0 +1,606 @@
+"""Application components: the paired app + runtime (sidecar) processes.
+
+Each :class:`Component` owns one message queue (its partition), a consumer
+loop that delivers responses to suspended callers and dispatches requests to
+per-actor mailboxes, and the send paths for requests and responses
+(Section 4.1). A component is one failure domain: killing it abandons every
+in-flight method execution, exactly like the formal failure rule.
+
+The retry-orchestration mechanics live here too:
+
+- requests annotated with ``after_callee`` by reconciliation are *parked*
+  until the callee's response (possibly synthetic) arrives -- the
+  happen-before guarantee of Sections 2.2/3.4;
+- execution of a nested call whose caller's component is dead is elided and
+  answered with a synthetic response when cancellation is enabled
+  (Section 4.4);
+- tail calls atomically complete the current request while issuing the next
+  one: a single produced message serves as both (Section 2.3).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.core.actor import Actor
+from repro.core.context import ActorContext
+from repro.core.dispatcher import ActorMailbox
+from repro.core.envelope import Request, Response, TailCall
+from repro.core.errors import (
+    ActorMethodError,
+    InvocationCancelled,
+    NoPlacementError,
+)
+from repro.core.placement import PlacementService
+from repro.core.refs import ActorRef
+from repro.kvstore import FencedClientError
+from repro.mq import FencedMemberError, GenerationInfo, StaleRouteError
+from repro.sim import SimProcess
+
+if TYPE_CHECKING:
+    from repro.core.app import KarApplication
+
+__all__ = ["Component"]
+
+_FENCE_ERRORS = (FencedMemberError, FencedClientError)
+
+#: Delay before re-checking for a live component supporting an actor type
+#: ("KAR queues requests to unavailable types separately, revisiting this
+#: queue when new components are added", Section 4.3).
+_PLACEMENT_RETRY_DELAY = 0.25
+
+
+class Component:
+    """One application component (app process + paired runtime process)."""
+
+    def __init__(
+        self,
+        app: "KarApplication",
+        name: str,
+        actor_types: tuple[str, ...],
+        epoch: int,
+    ):
+        self.app = app
+        self.name = name
+        self.actor_types = frozenset(actor_types)
+        self.epoch = epoch
+        self.member_id = f"{name}#{epoch}"
+        self.process = SimProcess(self.member_id)
+        self.member = None
+        self.store_client = None
+        self.placement: PlacementService | None = None
+        self._instances: dict[ActorRef, Actor] = {}
+        self._mailboxes: dict[ActorRef, ActorMailbox] = {}
+        self._pending_calls: dict[str, Any] = {}
+        self._parked: dict[str, list[Request]] = {}
+        self._settled: set[str] = set()
+        self._handled: set[tuple[str, int]] = set()
+        self._live_members: set[str] | None = None
+        self.is_leader = False
+
+    # ------------------------------------------------------------------
+    # shortcuts
+    # ------------------------------------------------------------------
+    @property
+    def kernel(self):
+        return self.app.kernel
+
+    @property
+    def config(self):
+        return self.app.config
+
+    @property
+    def coordinator(self):
+        return self.app.coordinator
+
+    @property
+    def trace(self):
+        return self.app.trace
+
+    @property
+    def alive(self) -> bool:
+        return self.process.alive
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "Component":
+        self.member = self.coordinator.join(self.member_id, self.process)
+        self.store_client = self.app.store.client(self.member_id)
+        self.placement = PlacementService(
+            self.store_client, self.config.placement_cache
+        )
+        self.coordinator.on_generation(self._on_generation)
+        self.kernel.spawn(
+            self._consume_loop(), self.process, name=f"consume:{self.member_id}"
+        )
+        self.kernel.spawn(
+            self._reminder_loop(), self.process, name=f"reminders:{self.member_id}"
+        )
+        self.trace.emit("component.start", member=self.member_id)
+        return self
+
+    def fail(self) -> None:
+        """Abrupt fail-stop of the paired app + runtime processes."""
+        if self.process.alive:
+            self.trace.emit("component.fail", member=self.member_id)
+            self.process.kill()
+
+    def _suicide(self) -> None:
+        """We were deemed failed (fenced) while still running: terminate.
+
+        This is the paired-process termination of Section 4.1 -- a fenced
+        zombie must stop rather than keep computing with stale authority.
+        """
+        if self.process.alive:
+            self.trace.emit("component.fenced_exit", member=self.member_id)
+            self.process.kill()
+
+    # ------------------------------------------------------------------
+    # invocation entry point (used by ActorContext and external clients)
+    # ------------------------------------------------------------------
+    async def invoke(
+        self,
+        caller: Request | None,
+        ref: ActorRef,
+        method: str,
+        args: tuple,
+        expects_reply: bool = True,
+    ) -> Any:
+        """Issue an actor invocation from this component.
+
+        ``caller`` is the request of the invoking method for nested calls
+        (carrying its id and ancestry), or ``None`` for root invocations from
+        external clients. Blocking calls await the response; tells return
+        once the request is durably queued.
+        """
+        await self._hop()  # app -> sidecar
+        request_id = self.app.ids.fresh()
+        if expects_reply and caller is not None:
+            return_address = caller.request_id
+            ancestors = caller.ancestors + (caller.request_id,)
+        else:
+            # Tells are fresh roots: they queue like any other invocation
+            # and never bypass the actor lock (Section 3.2's (tell) rule
+            # attaches no return address).
+            return_address = None
+            ancestors = ()
+        # Responses go to the caller's queue for calls, but to the *callee's
+        # own* queue for tells (Section 4.1) -- the completion record must
+        # live and die with the request it completes, or reconciliation
+        # could re-run an already-completed tell after the evidence is gone.
+        reply_to = self.member_id if expects_reply else None
+        request = Request(
+            request_id=request_id,
+            step=0,
+            actor=ref,
+            method=method,
+            args=tuple(args),
+            return_address=return_address,
+            reply_to=reply_to,
+            caller_actor=caller.actor if caller is not None else None,
+            caller_member=self.member_id,
+            ancestors=ancestors,
+            expects_reply=expects_reply,
+        )
+        await self._overhead()
+        future = None
+        if expects_reply:
+            future = self.kernel.create_future()
+            self._pending_calls[request_id] = future
+        await self._route_request(request)
+        if not expects_reply:
+            await self._hop()  # ack back to the app process
+            return None
+        response: Response = await future
+        await self._hop()  # sidecar -> app
+        if response.cancelled:
+            raise InvocationCancelled(request_id)
+        if response.error is not None:
+            raise ActorMethodError(response.error)
+        return response.value
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def _live_candidates(self, actor_type: str) -> list[str]:
+        names = {m.rsplit("#", 1)[0] for m in self.coordinator.members}
+        return sorted(
+            name
+            for name in names
+            if actor_type in self.app.component_types.get(name, frozenset())
+        )
+
+    def _live_incarnation(self, component_name: str) -> str | None:
+        for member_id in self.coordinator.members:
+            if member_id.rsplit("#", 1)[0] == component_name:
+                return member_id
+        return None
+
+    async def _route_request(self, request: Request) -> None:
+        """Resolve placement and durably enqueue; retries stale routes."""
+        while True:
+            await self.coordinator.wait_unpaused()
+            candidates = self._live_candidates(request.actor.type)
+            if not candidates:
+                await self.kernel.sleep(_PLACEMENT_RETRY_DELAY)
+                continue
+            target_name = await self.placement.resolve(request.actor, candidates)
+            target_member = self._live_incarnation(target_name)
+            if target_member is None:
+                self.placement.invalidate_components({target_name})
+                continue
+            try:
+                await self.member.send(target_member, request)
+            except StaleRouteError:
+                self.placement.invalidate_components({target_name})
+                continue
+            self.trace.emit(
+                "request.sent",
+                request=request.request_id,
+                step=request.step,
+                actor=str(request.actor),
+                method=request.method,
+                target=target_member,
+                sender=self.member_id,
+            )
+            return
+
+    async def _send_response(self, request: Request, response: Response) -> None:
+        """Route a response to the caller's queue; if the caller's component
+        died, follow the caller actor's (re-assigned) placement instead.
+
+        Tells self-acknowledge into the *executing* component's own queue
+        (Section 4.1): the completion record then shares the fate (and the
+        retention clock) of the request it completes.
+        """
+        if not request.expects_reply:
+            await self.member.send(self.member_id, response)
+            self.trace.emit(
+                "response.sent",
+                request=response.request_id,
+                target=self.member_id,
+                self_ack=True,
+            )
+            return
+        reply_to = request.reply_to
+        if reply_to is None:
+            return
+        if self.config.completion_log:
+            await self._send_response_transactional(request, response)
+            return
+        while True:
+            await self.coordinator.wait_unpaused()
+            if reply_to in self.coordinator.members:
+                target = reply_to
+            elif request.caller_actor is None:
+                # Root caller (external client) is gone: nobody to answer.
+                self.trace.emit(
+                    "response.dropped", request=response.request_id
+                )
+                return
+            else:
+                candidates = self._live_candidates(request.caller_actor.type)
+                if not candidates:
+                    await self.kernel.sleep(_PLACEMENT_RETRY_DELAY)
+                    continue
+                name = await self.placement.resolve(
+                    request.caller_actor, candidates
+                )
+                target = self._live_incarnation(name)
+                if target is None:
+                    self.placement.invalidate_components({name})
+                    continue
+            try:
+                await self.member.send(target, response)
+            except StaleRouteError:
+                continue
+            self.trace.emit(
+                "response.sent",
+                request=response.request_id,
+                target=target,
+                error=response.error,
+                cancelled=response.cancelled,
+            )
+            return
+
+    async def _send_response_transactional(
+        self, request: Request, response: Response
+    ) -> None:
+        """Completion-log mode (Section 4.3's future-work alternative):
+        one message-queue transaction atomically (1) sends the caller the
+        result and (2) logs the completion in this component's own queue.
+        The local completion record lets reconciliation discard this queue
+        eagerly on failure without ever re-running completed work."""
+        while True:
+            await self.coordinator.wait_unpaused()
+            reply_to = request.reply_to
+            if reply_to in self.coordinator.members:
+                target = reply_to
+            elif request.caller_actor is None:
+                self.trace.emit("response.dropped", request=response.request_id)
+                # Still log the completion locally so the request is never
+                # retried for a caller that no longer exists.
+                await self.member.send(self.member_id, response)
+                return
+            else:
+                candidates = self._live_candidates(request.caller_actor.type)
+                if not candidates:
+                    await self.kernel.sleep(_PLACEMENT_RETRY_DELAY)
+                    continue
+                name = await self.placement.resolve(
+                    request.caller_actor, candidates
+                )
+                target = self._live_incarnation(name)
+                if target is None:
+                    self.placement.invalidate_components({name})
+                    continue
+            try:
+                await self.member.send_transaction(
+                    [(target, response), (self.member_id, response)]
+                )
+            except StaleRouteError:
+                continue
+            self.trace.emit(
+                "response.sent",
+                request=response.request_id,
+                target=target,
+                completion_logged=True,
+            )
+            return
+
+    # ------------------------------------------------------------------
+    # consumer
+    # ------------------------------------------------------------------
+    async def _consume_loop(self) -> None:
+        try:
+            while True:
+                records = await self.member.poll()
+                for record in records:
+                    envelope = record.value
+                    if isinstance(envelope, Response):
+                        self._handle_response(envelope)
+                    elif isinstance(envelope, Request):
+                        self._handle_request(envelope)
+        except _FENCE_ERRORS:
+            self._suicide()
+
+    def _handle_response(self, response: Response) -> None:
+        self._settled.add(response.request_id)
+        future = self._pending_calls.pop(response.request_id, None)
+        if future is not None and not future.done():
+            future.set_result(response)
+        # Happen-before: release any retry parked on this callee.
+        for parked in self._parked.pop(response.request_id, ()):
+            self.trace.emit(
+                "request.unparked",
+                request=parked.request_id,
+                after_callee=response.request_id,
+            )
+            self._admit(parked)
+
+    def _handle_request(self, request: Request) -> None:
+        if request.dedup_key in self._handled:
+            # A reconciliation restart copied this request twice (Section
+            # 4.3: "request messages already copied ... are skipped").
+            self.trace.emit(
+                "request.duplicate", request=request.request_id, step=request.step
+            )
+            return
+        self._handled.add(request.dedup_key)
+        if (
+            request.after_callee is not None
+            and request.after_callee not in self._settled
+        ):
+            # The retried caller must wait for its prior callee to settle
+            # (the oblique dashed line of Figure 1, scenarios 4-7).
+            self.trace.emit(
+                "request.parked",
+                request=request.request_id,
+                after_callee=request.after_callee,
+            )
+            self._parked.setdefault(request.after_callee, []).append(request)
+            return
+        self._admit(request)
+
+    def _admit(self, request: Request) -> None:
+        mailbox = self._mailboxes.setdefault(request.actor, ActorMailbox())
+        if mailbox.try_admit(request):
+            self._spawn_executor(request)
+
+    def _spawn_executor(self, request: Request) -> None:
+        self.kernel.spawn(
+            self._execute(request),
+            self.process,
+            name=f"exec:{request.request_id}.{request.step}@{self.member_id}",
+        )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    async def _execute(self, request: Request) -> None:
+        try:
+            kind, payload = await self._run_method(request)
+            tail_to_self = False
+            if kind == "tail":
+                successor: Request = payload
+                tail_to_self = successor.tail_lock
+                await self._hop()  # app -> sidecar with the tail call
+                # One message atomically completes this request and issues
+                # the next one (Section 2.3).
+                await self._route_request(successor)
+                self.trace.emit(
+                    "invoke.end",
+                    request=request.request_id,
+                    step=request.step,
+                    actor=str(request.actor),
+                    method=request.method,
+                    outcome="tail",
+                    tail_to_self=tail_to_self,
+                    member=self.member_id,
+                )
+            else:
+                if kind == "value":
+                    response = Response(request.request_id, value=payload)
+                elif kind == "error":
+                    response = Response(request.request_id, error=payload)
+                else:  # cancelled
+                    response = Response(request.request_id, cancelled=True)
+                await self._hop()
+                await self._send_response(request, response)
+                self.trace.emit(
+                    "invoke.end",
+                    request=request.request_id,
+                    step=request.step,
+                    actor=str(request.actor),
+                    method=request.method,
+                    outcome=kind,
+                    member=self.member_id,
+                )
+            self._finish_frame(request, tail_to_self)
+        except _FENCE_ERRORS:
+            self._suicide()
+
+    async def _run_method(self, request: Request) -> tuple[str, Any]:
+        if self._should_elide(request):
+            self.trace.emit(
+                "invoke.elided",
+                request=request.request_id,
+                actor=str(request.actor),
+                method=request.method,
+                caller_member=request.caller_member,
+            )
+            return ("cancelled", None)
+        instance = self._instances.get(request.actor)
+        ctx = ActorContext(self, request)
+        if instance is None:
+            try:
+                actor_class = self.app.registry.resolve(request.actor.type)
+            except Exception as error:  # noqa: BLE001 - app boundary
+                return ("error", f"{type(error).__name__}: {error}")
+            instance = actor_class()
+            instance.ref = request.actor
+            self._instances[request.actor] = instance
+            self.trace.emit(
+                "actor.activate", actor=str(request.actor), member=self.member_id
+            )
+            try:
+                await instance.activate(ctx)
+            except _FENCE_ERRORS:
+                raise
+            except Exception as error:  # noqa: BLE001 - app boundary
+                del self._instances[request.actor]
+                return ("error", f"{type(error).__name__}: {error}")
+        await self._hop()  # sidecar -> app dispatch
+        self.trace.emit(
+            "invoke.start",
+            request=request.request_id,
+            step=request.step,
+            actor=str(request.actor),
+            method=request.method,
+            member=self.member_id,
+            copy_epoch=request.copy_epoch,
+        )
+        try:
+            method = self.app.registry.method(instance, request.method)
+        except Exception as error:  # noqa: BLE001 - app boundary
+            return ("error", f"{type(error).__name__}: {error}")
+        try:
+            result = await method(ctx, *request.args)
+        except _FENCE_ERRORS:
+            raise
+        except Exception as error:  # noqa: BLE001 - app boundary
+            self.trace.emit(
+                "invoke.error",
+                request=request.request_id,
+                actor=str(request.actor),
+                method=request.method,
+                error=f"{type(error).__name__}: {error}",
+            )
+            return ("error", f"{type(error).__name__}: {error}")
+        if isinstance(result, TailCall):
+            successor = request.tail_successor(
+                result.actor, result.method, result.args, request.actor
+            )
+            return ("tail", successor)
+        return ("value", result)
+
+    def _should_elide(self, request: Request) -> bool:
+        """Cancellation (Section 4.4): skip a nested call whose caller's
+        component is absent from the live list of the latest reconciliation."""
+        if not self.config.cancellation:
+            return False
+        if request.return_address is None or request.caller_member is None:
+            return False  # only nested calls are cancellable (Section 3.6)
+        if self._live_members is None:
+            return False  # no generation observed yet: presume alive
+        return request.caller_member not in self._live_members
+
+    def _finish_frame(self, request: Request, tail_to_self: bool) -> None:
+        mailbox = self._mailboxes.get(request.actor)
+        if mailbox is None:
+            return
+        successor = mailbox.complete_frame(request, tail_to_self)
+        if successor is not None:
+            self._spawn_executor(successor)
+
+    # ------------------------------------------------------------------
+    # failure recovery hooks
+    # ------------------------------------------------------------------
+    def _on_generation(self, info: GenerationInfo) -> None:
+        if not self.process.alive or self.member is None:
+            return
+        if self.member_id not in info.members:
+            self._suicide()
+            return
+        self._live_members = set(info.members)
+        failed_names = {m.rsplit("#", 1)[0] for m in info.failed}
+        if failed_names:
+            self.placement.invalidate_components(failed_names)
+        self.is_leader = info.leader == self.member_id
+        if self.is_leader:
+            self.kernel.spawn(
+                self._lead_reconciliation(info),
+                self.process,
+                name=f"reconcile:{self.member_id}",
+            )
+
+    async def _lead_reconciliation(self, info: GenerationInfo) -> None:
+        from repro.core.reconciler import Reconciler
+
+        try:
+            await Reconciler(self).run(info)
+        except _FENCE_ERRORS:
+            self._suicide()
+
+    # ------------------------------------------------------------------
+    # reminders (leader-run daemon; see repro.core.reminders)
+    # ------------------------------------------------------------------
+    async def _reminder_loop(self) -> None:
+        from repro.core.reminders import deliver_due_reminders
+
+        try:
+            while True:
+                await self.kernel.sleep(self.config.reminder_tick)
+                if not self.is_leader or not self.app.reminders_in_use:
+                    continue
+                await deliver_due_reminders(self)
+        except _FENCE_ERRORS:
+            self._suicide()
+
+    # ------------------------------------------------------------------
+    # latency charges (out-of-process runtime architecture, Section 4.1)
+    # ------------------------------------------------------------------
+    async def _hop(self) -> None:
+        await self.kernel.sleep(
+            self.config.sidecar_latency.sample(self.kernel.rng)
+        )
+
+    async def _overhead(self) -> None:
+        await self.kernel.sleep(
+            self.config.invoke_overhead.sample(self.kernel.rng)
+        )
+
+    def __repr__(self) -> str:
+        state = "alive" if self.process.alive else "dead"
+        return f"Component({self.member_id}, {state})"

@@ -1,0 +1,50 @@
+"""The ``actor.state`` persistence API (Section 2.1).
+
+Actor state lives in a per-instance hash in the simulated Redis, accessed
+through the hosting component's store client -- so a fenced (failed)
+component can no longer mutate any actor's persisted state, and KAR's retry
+guarantees are independent of whether actors use this API at all.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.refs import ActorRef
+from repro.kvstore import StoreClient
+
+__all__ = ["ActorStateAPI", "state_key"]
+
+
+def state_key(ref: ActorRef) -> str:
+    return f"state:{ref.type}:{ref.id}"
+
+
+class ActorStateAPI:
+    """Get/set/remove persisted fields of one actor instance."""
+
+    def __init__(self, client: StoreClient, ref: ActorRef):
+        self._client = client
+        self._key = state_key(ref)
+
+    async def get(self, field: str, default: Any = None) -> Any:
+        value = await self._client.hget(self._key, field)
+        return default if value is None else value
+
+    async def set(self, field: str, value: Any) -> None:
+        await self._client.hset(self._key, field, value)
+
+    async def set_multiple(self, updates: dict[str, Any]) -> None:
+        for field, value in updates.items():
+            await self._client.hset(self._key, field, value)
+
+    async def remove(self, field: str) -> bool:
+        return await self._client.hdel(self._key, field)
+
+    async def get_all(self) -> dict[str, Any]:
+        return await self._client.hgetall(self._key)
+
+    async def remove_all(self) -> bool:
+        """Delete all persisted state (e.g. an Order actor upon arrival at
+        its destination port, Section 5)."""
+        return await self._client.delete_hash(self._key)

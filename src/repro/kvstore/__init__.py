@@ -1,0 +1,13 @@
+"""Simulated Redis: a persistent key-value service with CAS and fencing.
+
+KAR uses Redis for two things (Section 4.2): coordinating actor placement
+with a compare-and-swap, and backing the ``actor.state`` persistence API.
+Crucially, the store must support *forceful disconnection* -- once a client
+is deemed failed, the store refuses all further operations from it, so a
+lingering write from a dead component can never race a replacement.
+"""
+
+from repro.kvstore.errors import FencedClientError, StoreError
+from repro.kvstore.store import KVStore, StoreClient
+
+__all__ = ["FencedClientError", "KVStore", "StoreClient", "StoreError"]

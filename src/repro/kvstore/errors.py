@@ -1,0 +1,16 @@
+"""Errors raised by the simulated key-value store."""
+
+__all__ = ["FencedClientError", "StoreError"]
+
+
+class StoreError(Exception):
+    """Base class for store failures."""
+
+
+class FencedClientError(StoreError):
+    """The client was forcefully disconnected and may no longer operate.
+
+    This is the store-side half of the paper's forceful-disconnection
+    requirement (Sections 1, 4.2): surviving components fence failed ones
+    before resuming, so delayed operations from the past cannot corrupt state.
+    """

@@ -1,0 +1,154 @@
+"""In-memory simulated Redis with latency, CAS, hashes, and client fencing.
+
+The store itself lives outside any application failure domain (the paper
+assumes the data store survives up to catastrophic failures, Section 3.3).
+Clients connect with an identity; fencing an identity makes every later
+operation from it fail, which implements forceful disconnection.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.kvstore.errors import FencedClientError
+from repro.sim import Kernel, Latency
+
+__all__ = ["KVStore", "StoreClient"]
+
+
+class KVStore:
+    """The service: flat keys, hash keys, CAS, deterministic latency."""
+
+    def __init__(self, kernel: Kernel, latency: Latency = Latency.fixed(0.0005)):
+        self.kernel = kernel
+        self.latency = latency
+        self._data: dict[str, Any] = {}
+        self._hashes: dict[str, dict[str, Any]] = {}
+        self._fenced: set[str] = set()
+        self.operation_count = 0
+
+    # ------------------------------------------------------------------
+    # connections and fencing
+    # ------------------------------------------------------------------
+    def client(self, client_id: str) -> "StoreClient":
+        return StoreClient(self, client_id)
+
+    def fence(self, client_id: str) -> None:
+        """Forcefully disconnect ``client_id``: all later operations fail."""
+        self._fenced.add(client_id)
+
+    def unfence(self, client_id: str) -> None:
+        """Re-admit an identity (a restarted component gets a fresh epoch)."""
+        self._fenced.discard(client_id)
+
+    def is_fenced(self, client_id: str) -> bool:
+        return client_id in self._fenced
+
+    # ------------------------------------------------------------------
+    # synchronous core (used by clients after the latency wait)
+    # ------------------------------------------------------------------
+    def _check(self, client_id: str) -> None:
+        self.operation_count += 1
+        if client_id in self._fenced:
+            raise FencedClientError(client_id)
+
+    def _get(self, key: str) -> Any:
+        return self._data.get(key)
+
+    def _set(self, key: str, value: Any) -> None:
+        self._data[key] = value
+
+    def _delete(self, key: str) -> bool:
+        return self._data.pop(key, None) is not None
+
+    def _cas(self, key: str, expected: Any, value: Any) -> bool:
+        """Atomically set ``key`` to ``value`` iff it currently equals
+        ``expected`` (``None`` meaning absent). Returns success."""
+        current = self._data.get(key)
+        if current != expected:
+            return False
+        self._data[key] = value
+        return True
+
+    def _hget(self, key: str, field: str) -> Any:
+        return self._hashes.get(key, {}).get(field)
+
+    def _hset(self, key: str, field: str, value: Any) -> None:
+        self._hashes.setdefault(key, {})[field] = value
+
+    def _hgetall(self, key: str) -> dict[str, Any]:
+        return dict(self._hashes.get(key, {}))
+
+    def _hdel(self, key: str, field: str) -> bool:
+        bucket = self._hashes.get(key)
+        if bucket is None:
+            return False
+        return bucket.pop(field, None) is not None
+
+    def _del_hash(self, key: str) -> bool:
+        return self._hashes.pop(key, None) is not None
+
+    def keys(self, prefix: str = "") -> list[str]:
+        """Snapshot of flat keys with the given prefix (test/inspection)."""
+        return sorted(key for key in self._data if key.startswith(prefix))
+
+
+class StoreClient:
+    """A connection bound to a client identity; every op costs one RTT.
+
+    The fencing check happens server-side *when the operation lands*, so an
+    operation issued before the fence but arriving after it is rejected --
+    exactly the lingering-write scenario of Section 2.3.
+    """
+
+    def __init__(self, store: KVStore, client_id: str):
+        self.store = store
+        self.client_id = client_id
+
+    async def _round_trip(self) -> None:
+        await self.store.kernel.sleep(self.store.latency.sample(self.store.kernel.rng))
+
+    async def get(self, key: str) -> Any:
+        await self._round_trip()
+        self.store._check(self.client_id)
+        return self.store._get(key)
+
+    async def set(self, key: str, value: Any) -> None:
+        await self._round_trip()
+        self.store._check(self.client_id)
+        self.store._set(key, value)
+
+    async def delete(self, key: str) -> bool:
+        await self._round_trip()
+        self.store._check(self.client_id)
+        return self.store._delete(key)
+
+    async def cas(self, key: str, expected: Any, value: Any) -> bool:
+        await self._round_trip()
+        self.store._check(self.client_id)
+        return self.store._cas(key, expected, value)
+
+    async def hget(self, key: str, field: str) -> Any:
+        await self._round_trip()
+        self.store._check(self.client_id)
+        return self.store._hget(key, field)
+
+    async def hset(self, key: str, field: str, value: Any) -> None:
+        await self._round_trip()
+        self.store._check(self.client_id)
+        self.store._hset(key, field, value)
+
+    async def hgetall(self, key: str) -> dict[str, Any]:
+        await self._round_trip()
+        self.store._check(self.client_id)
+        return self.store._hgetall(key)
+
+    async def hdel(self, key: str, field: str) -> bool:
+        await self._round_trip()
+        self.store._check(self.client_id)
+        return self.store._hdel(key, field)
+
+    async def delete_hash(self, key: str) -> bool:
+        await self._round_trip()
+        self.store._check(self.client_id)
+        return self.store._del_hash(key)

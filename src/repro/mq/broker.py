@@ -1,0 +1,265 @@
+"""Topics, partitions, append-only logs, bulk expiry, and producer fencing.
+
+One topic per application, one partition per application component
+(Section 4.1: "KAR's implementation allocates a dedicated message queue for
+each application component"). Partitions only support appending at the end;
+completed requests are left in place and later expired in bulk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.mq.errors import FencedMemberError, MQError
+from repro.mq.records import Record
+from repro.sim import Kernel, Latency
+
+__all__ = ["Broker", "BrokerConfig", "Partition", "Topic"]
+
+
+@dataclass(frozen=True)
+class BrokerConfig:
+    """Timing and retention parameters.
+
+    ``produce_latency`` models the full produce round trip including
+    replication acks (this is what separates ClusterDev from ClusterProd in
+    Table 2); ``consume_latency`` models the fetch path. Retention follows
+    Section 4.1: expiry after a configurable delay or above a configurable
+    queue size (defaults: ten minutes, unbounded size).
+    """
+
+    produce_latency: Latency = Latency.fixed(0.001)
+    consume_latency: Latency = Latency.fixed(0.0005)
+    retention_seconds: float = 600.0
+    retention_max_records: int | None = None
+    heartbeat_interval: float = 3.0
+    session_timeout: float = 10.0
+    watchdog_interval: float = 0.5
+    rebalance_join_window: float = 2.2
+    rebalance_sync_latency: Latency = field(
+        default_factory=lambda: Latency.around(0.25, 0.2)
+    )
+
+
+class Partition:
+    """An append-only log with offsets and lazy bulk expiry."""
+
+    def __init__(self, topic: "Topic", name: str):
+        self.topic = topic
+        self.name = name
+        self._records: list[Record] = []
+        self._next_offset = 0
+        self.first_retained_offset = 0
+
+    def append(self, value: Any, timestamp: float) -> Record:
+        record = Record(self.name, self._next_offset, timestamp, value)
+        self._next_offset += 1
+        self._records.append(record)
+        return record
+
+    @property
+    def end_offset(self) -> int:
+        return self._next_offset
+
+    def expire(self, now: float) -> int:
+        """Drop records older than retention; returns how many were dropped."""
+        config = self.topic.broker.config
+        cutoff = now - config.retention_seconds
+        keep_from = 0
+        while keep_from < len(self._records) and (
+            self._records[keep_from].timestamp < cutoff
+        ):
+            keep_from += 1
+        if config.retention_max_records is not None:
+            overflow = len(self._records) - keep_from - config.retention_max_records
+            if overflow > 0:
+                keep_from += overflow
+        if keep_from:
+            self.first_retained_offset = self._records[keep_from - 1].offset + 1
+            del self._records[:keep_from]
+        return keep_from
+
+    def read_from(self, offset: int, now: float, limit: int | None = None) -> list[Record]:
+        """Records at offsets >= ``offset`` that are still retained."""
+        self.expire(now)
+        start = max(offset, self.first_retained_offset)
+        skip = start - self.first_retained_offset
+        records = self._records[skip:]
+        if limit is not None:
+            records = records[:limit]
+        return list(records)
+
+    def unexpired(self, now: float) -> list[Record]:
+        self.expire(now)
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class Topic:
+    """A named topic whose partitions are created on demand, one per member."""
+
+    def __init__(self, broker: "Broker", name: str):
+        self.broker = broker
+        self.name = name
+        self.partitions: dict[str, Partition] = {}
+
+    def partition(self, name: str) -> Partition:
+        partition = self.partitions.get(name)
+        if partition is None:
+            partition = Partition(self, name)
+            self.partitions[name] = partition
+        return partition
+
+    def drop_partition(self, name: str) -> None:
+        """Discard a failed component's queue after reconciliation (§4.3)."""
+        self.partitions.pop(name, None)
+
+    def snapshot_unexpired(self, now: float) -> list[Record]:
+        """All retained records across partitions -- the reconciliation
+        leader's catalog of unexpired messages (Section 4.3)."""
+        records: list[Record] = []
+        for partition in self.partitions.values():
+            records.extend(partition.unexpired(now))
+        records.sort(key=lambda record: (record.timestamp, record.partition, record.offset))
+        return records
+
+
+class Broker:
+    """The message service; survives application failures by assumption."""
+
+    def __init__(self, kernel: Kernel, config: BrokerConfig | None = None):
+        self.kernel = kernel
+        self.config = config or BrokerConfig()
+        self.topics: dict[str, Topic] = {}
+        self._fenced: set[str] = set()
+        self._append_waiters: dict[tuple[str, str], list] = {}
+        self.produce_count = 0
+        self.consume_count = 0
+
+    def topic(self, name: str) -> Topic:
+        topic = self.topics.get(name)
+        if topic is None:
+            topic = Topic(self, name)
+            self.topics[name] = topic
+        return topic
+
+    # ------------------------------------------------------------------
+    # fencing (forceful disconnection)
+    # ------------------------------------------------------------------
+    def fence(self, client_id: str) -> None:
+        self._fenced.add(client_id)
+
+    def unfence(self, client_id: str) -> None:
+        self._fenced.discard(client_id)
+
+    def is_fenced(self, client_id: str) -> bool:
+        return client_id in self._fenced
+
+    # ------------------------------------------------------------------
+    # produce / consume primitives
+    # ------------------------------------------------------------------
+    async def produce(
+        self,
+        topic_name: str,
+        partition_name: str,
+        value: Any,
+        client_id: str,
+        guard=None,
+    ) -> Record:
+        """Append a message; the await covers the full produce round trip
+        (network + replication acks), so a returned record is durable.
+
+        ``guard``, if given, is evaluated atomically at append time; a falsy
+        result raises :class:`MQError` (typically wrapped by the caller as a
+        stale route) and nothing is appended.
+        """
+        await self.kernel.sleep(self.config.produce_latency.sample(self.kernel.rng))
+        if client_id in self._fenced:
+            raise FencedMemberError(client_id)
+        if guard is not None and not guard():
+            raise MQError(f"append guard rejected {partition_name!r}")
+        self.produce_count += 1
+        partition = self.topic(topic_name).partition(partition_name)
+        record = partition.append(value, self.kernel.now)
+        self._wake_append_waiters(topic_name, partition_name)
+        return record
+
+    def produce_internal(
+        self, topic_name: str, partition_name: str, value: Any
+    ) -> Record:
+        """Zero-latency append used by the broker-side reconciliation copy
+        path (the leader batches copies; latency is charged separately)."""
+        self.produce_count += 1
+        partition = self.topic(topic_name).partition(partition_name)
+        record = partition.append(value, self.kernel.now)
+        self._wake_append_waiters(topic_name, partition_name)
+        return record
+
+    async def produce_transaction(
+        self,
+        topic_name: str,
+        entries: list[tuple[str, Any]],
+        client_id: str,
+        guard=None,
+    ) -> list[Record]:
+        """Atomically append several messages (a Kafka transaction, KIP-98).
+
+        Used by the completion-log mode of Section 4.3's future-work
+        alternative: one transaction both answers the caller and logs the
+        completion in the callee's own queue. Either all entries land or
+        none do; one produce round trip is charged.
+        """
+        await self.kernel.sleep(self.config.produce_latency.sample(self.kernel.rng))
+        if client_id in self._fenced:
+            raise FencedMemberError(client_id)
+        if guard is not None and not guard():
+            raise MQError("append guard rejected transaction")
+        records = []
+        for partition_name, value in entries:
+            self.produce_count += 1
+            partition = self.topic(topic_name).partition(partition_name)
+            records.append(partition.append(value, self.kernel.now))
+        for partition_name, _value in entries:
+            self._wake_append_waiters(topic_name, partition_name)
+        return records
+
+    def wait_for_append(self, topic_name: str, partition_name: str):
+        """Future resolved at the next append to the given partition."""
+        waiter = self.kernel.create_future()
+        self._append_waiters.setdefault((topic_name, partition_name), []).append(waiter)
+        return waiter
+
+    def _wake_append_waiters(self, topic_name: str, partition_name: str) -> None:
+        waiters = self._append_waiters.pop((topic_name, partition_name), [])
+        for waiter in waiters:
+            waiter.set_result(None)
+
+    async def fetch(
+        self,
+        topic_name: str,
+        partition_name: str,
+        offset: int,
+        client_id: str,
+        limit: int | None = None,
+    ) -> list[Record]:
+        await self.kernel.sleep(self.config.consume_latency.sample(self.kernel.rng))
+        if client_id in self._fenced:
+            raise FencedMemberError(client_id)
+        self.consume_count += 1
+        partition = self.topic(topic_name).partition(partition_name)
+        return partition.read_from(offset, self.kernel.now, limit)
+
+    def notify_append(self, topic_name: str, partition_name: str) -> None:
+        """Hook point used by consumer wakeups (set by GroupCoordinator)."""
+
+    def validate_partition_exists(self, topic_name: str, partition_name: str) -> None:
+        if partition_name not in self.topic(topic_name).partitions:
+            raise MQError(f"unknown partition {partition_name!r} in {topic_name!r}")
+
+
+def total_backlog(topics: Iterable[Topic], now: float) -> int:
+    """Total unexpired records across topics (reconciliation cost driver)."""
+    return sum(len(topic.snapshot_unexpired(now)) for topic in topics)

@@ -1,0 +1,22 @@
+"""Errors raised by the simulated message broker."""
+
+__all__ = ["FencedMemberError", "MQError", "StaleRouteError"]
+
+
+class MQError(Exception):
+    """Base class for broker failures."""
+
+
+class StaleRouteError(MQError):
+    """The target partition's owner left the group while the send was in
+    flight. The sender must re-resolve the route (e.g. via actor placement)
+    and retry; nothing was appended."""
+
+
+class FencedMemberError(MQError):
+    """The producer/consumer identity was evicted from its group.
+
+    Once Kafka removes a runtime process from the consumer group, that
+    process no longer receives messages and is prevented from sending more,
+    even if it is not completely dead (Section 4.2).
+    """

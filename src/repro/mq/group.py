@@ -1,0 +1,350 @@
+"""Consumer groups: heartbeats, detection, consensus (rebalance), fencing.
+
+This module implements the failure-detection machinery of Section 4.2/4.3:
+
+- every member heartbeats the coordinator; a member whose heartbeats stop for
+  ``session_timeout`` seconds (default 10 s, Kafka's recommended grace period)
+  is evicted and *fenced* -- it can no longer produce or consume;
+- any membership change triggers a rebalance: the group pauses message flow,
+  waits a join window for membership to stabilize, then a sync barrier
+  establishes a new *generation* with a deterministic leader (the paper's
+  *consensus* phase);
+- the group stays paused until the application layer (KAR's reconciliation,
+  run by the leader) calls :meth:`GroupCoordinator.resume` for that
+  generation. A failure during reconciliation simply yields a newer
+  generation whose leader restarts reconciliation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.mq.broker import Broker
+from repro.mq.errors import FencedMemberError, MQError, StaleRouteError
+from repro.mq.records import Record
+from repro.sim import Kernel, SimFuture, SimProcess
+
+__all__ = ["GenerationInfo", "GenerationRecord", "GroupCoordinator", "GroupMember"]
+
+
+@dataclass(frozen=True)
+class GenerationInfo:
+    """The outcome of one rebalance, delivered to generation listeners."""
+
+    generation: int
+    members: tuple[str, ...]
+    leader: str | None
+    failed: tuple[str, ...]
+    joined: tuple[str, ...]
+    reason: str
+    triggered_at: float
+    completed_at: float
+
+
+@dataclass
+class GenerationRecord:
+    """History entry used by the benchmark harness to split outage phases."""
+
+    generation: int
+    reason: str
+    failed: tuple[str, ...]
+    joined: tuple[str, ...]
+    triggered_at: float
+    completed_at: float
+    resumed_at: float | None = None
+
+
+@dataclass
+class _MemberState:
+    member_id: str
+    process: SimProcess | None
+    last_heartbeat: float
+    member: "GroupMember"
+
+
+class GroupCoordinator:
+    """Broker-side group state machine (never fails, like the broker)."""
+
+    def __init__(self, broker: Broker, group_id: str, topic_name: str):
+        self.broker = broker
+        self.kernel: Kernel = broker.kernel
+        self.group_id = group_id
+        self.topic_name = topic_name
+        self.members: dict[str, _MemberState] = {}
+        self.generation = 0
+        self.paused = False
+        self.history: list[GenerationRecord] = []
+        self._generation_listeners: list[Callable[[GenerationInfo], None]] = []
+        self._resume_waiters: list[SimFuture] = []
+        self._last_membership: set[str] = set()
+        self._rebalancing = False
+        self._dirty = False
+        self._trigger_time: float | None = None
+        self._reasons: list[str] = []
+        self._watchdog_started = False
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def join(self, member_id: str, process: SimProcess | None = None) -> "GroupMember":
+        """Add a member; starts its heartbeat task and triggers a rebalance."""
+        if member_id in self.members:
+            raise ValueError(f"duplicate member id {member_id!r}")
+        if self.broker.is_fenced(member_id):
+            raise FencedMemberError(member_id)
+        member = GroupMember(self, member_id, process)
+        self.members[member_id] = _MemberState(
+            member_id, process, self.kernel.now, member
+        )
+        self._ensure_watchdog()
+        self.kernel.spawn(
+            self._heartbeat_loop(member_id),
+            process=process,
+            name=f"heartbeat:{member_id}",
+        )
+        self._request_rebalance("join")
+        return member
+
+    def leave(self, member_id: str) -> None:
+        """Graceful departure (still fences, still triggers a rebalance)."""
+        if member_id in self.members:
+            self._evict(member_id, reason="leave")
+
+    def heartbeat(self, member_id: str) -> None:
+        state = self.members.get(member_id)
+        if state is not None:
+            state.last_heartbeat = self.kernel.now
+
+    def on_generation(self, listener: Callable[[GenerationInfo], None]) -> None:
+        self._generation_listeners.append(listener)
+
+    @property
+    def live_members(self) -> tuple[str, ...]:
+        return tuple(sorted(self.members))
+
+    @property
+    def leader(self) -> str | None:
+        ordered = self.live_members
+        return ordered[0] if ordered else None
+
+    # ------------------------------------------------------------------
+    # heartbeats and the eviction watchdog
+    # ------------------------------------------------------------------
+    async def _heartbeat_loop(self, member_id: str) -> None:
+        interval = self.broker.config.heartbeat_interval
+        while member_id in self.members:
+            self.heartbeat(member_id)
+            await self.kernel.sleep(interval)
+
+    def _ensure_watchdog(self) -> None:
+        if self._watchdog_started:
+            return
+        self._watchdog_started = True
+        self.kernel.spawn(self._watchdog_loop(), name=f"watchdog:{self.group_id}")
+
+    async def _watchdog_loop(self) -> None:
+        config = self.broker.config
+        while True:
+            await self.kernel.sleep(config.watchdog_interval)
+            now = self.kernel.now
+            expired = [
+                state.member_id
+                for state in self.members.values()
+                if now - state.last_heartbeat > config.session_timeout
+            ]
+            for member_id in expired:
+                self._evict(member_id, reason="failure")
+
+    def _evict(self, member_id: str, reason: str) -> None:
+        """Remove and fence a member, then trigger the consensus phase."""
+        self.members.pop(member_id, None)
+        self.broker.fence(member_id)
+        self._request_rebalance(reason)
+
+    # ------------------------------------------------------------------
+    # rebalance (the paper's consensus phase)
+    # ------------------------------------------------------------------
+    def _request_rebalance(self, reason: str) -> None:
+        self._pause()
+        self._reasons.append(reason)
+        if self._rebalancing:
+            self._dirty = True
+            return
+        self._rebalancing = True
+        self._trigger_time = self.kernel.now
+        self.kernel.spawn(self._rebalance(), name=f"rebalance:{self.group_id}")
+
+    async def _rebalance(self) -> None:
+        config = self.broker.config
+        while True:
+            self._dirty = False
+            await self.kernel.sleep(config.rebalance_join_window)
+            await self.kernel.sleep(
+                config.rebalance_sync_latency.sample(self.kernel.rng)
+            )
+            if not self._dirty:
+                break
+        self.generation += 1
+        current = set(self.members)
+        failed = tuple(sorted(self._last_membership - current))
+        joined = tuple(sorted(current - self._last_membership))
+        self._last_membership = current
+        reason = "failure" if "failure" in self._reasons else (self._reasons[0] if self._reasons else "join")
+        triggered_at = self._trigger_time if self._trigger_time is not None else self.kernel.now
+        info = GenerationInfo(
+            generation=self.generation,
+            members=self.live_members,
+            leader=self.leader,
+            failed=failed,
+            joined=joined,
+            reason=reason,
+            triggered_at=triggered_at,
+            completed_at=self.kernel.now,
+        )
+        self.history.append(
+            GenerationRecord(
+                generation=info.generation,
+                reason=info.reason,
+                failed=info.failed,
+                joined=info.joined,
+                triggered_at=info.triggered_at,
+                completed_at=info.completed_at,
+            )
+        )
+        self._rebalancing = False
+        self._reasons = []
+        self._trigger_time = None
+        if not self.members:
+            # Empty group: nothing can reconcile; resume so future joiners
+            # start from a clean pause state.
+            self.resume(self.generation)
+        for listener in list(self._generation_listeners):
+            listener(info)
+
+    # ------------------------------------------------------------------
+    # pause gate
+    # ------------------------------------------------------------------
+    def _pause(self) -> None:
+        self.paused = True
+
+    def resume(self, generation: int) -> None:
+        """Lift the pause for ``generation``; stale resumes are ignored.
+
+        Called by the reconciliation leader once recovery completes. If a new
+        failure arrived meanwhile, ``generation`` is stale and the newer
+        generation's leader is responsible for resuming.
+        """
+        if generation != self.generation or self._rebalancing:
+            return
+        if not self.paused:
+            return
+        self.paused = False
+        for record in reversed(self.history):
+            if record.generation == generation:
+                record.resumed_at = self.kernel.now
+                break
+        waiters, self._resume_waiters = self._resume_waiters, []
+        for waiter in waiters:
+            waiter.set_result(None)
+
+    async def wait_unpaused(self) -> None:
+        while self.paused:
+            waiter = self.kernel.create_future()
+            self._resume_waiters.append(waiter)
+            await waiter
+
+
+class GroupMember:
+    """A member handle: send to any partition, poll your own partition.
+
+    Sends and polls respect the group pause ("all components temporarily
+    stop sending and receiving messages", Section 4.3) and raise
+    :class:`FencedMemberError` once the member is evicted.
+    """
+
+    def __init__(
+        self,
+        coordinator: GroupCoordinator,
+        member_id: str,
+        process: SimProcess | None,
+    ):
+        self.coordinator = coordinator
+        self.member_id = member_id
+        self.process = process
+        self.position = 0
+
+    @property
+    def broker(self) -> Broker:
+        return self.coordinator.broker
+
+    @property
+    def topic_name(self) -> str:
+        return self.coordinator.topic_name
+
+    def _check_fenced(self) -> None:
+        if self.broker.is_fenced(self.member_id):
+            raise FencedMemberError(self.member_id)
+
+    async def send(self, partition_name: str, value: Any) -> Record:
+        """Durably append ``value`` to another member's queue.
+
+        Raises :class:`StaleRouteError` if the target member left the group
+        while the send was in flight (its queue is being reconciled); the
+        sender must re-resolve the destination and retry. The check happens
+        at append time, so a raised send appended nothing.
+        """
+        await self.coordinator.wait_unpaused()
+        self._check_fenced()
+        try:
+            return await self.broker.produce(
+                self.topic_name,
+                partition_name,
+                value,
+                self.member_id,
+                guard=lambda: partition_name in self.coordinator.members,
+            )
+        except FencedMemberError:
+            raise
+        except MQError:
+            raise StaleRouteError(partition_name) from None
+
+    async def send_transaction(
+        self, entries: list[tuple[str, Any]]
+    ) -> list[Record]:
+        """Atomically append to several queues (see produce_transaction)."""
+        await self.coordinator.wait_unpaused()
+        self._check_fenced()
+        try:
+            return await self.broker.produce_transaction(
+                self.topic_name,
+                entries,
+                self.member_id,
+                guard=lambda: all(
+                    partition in self.coordinator.members
+                    or partition == self.member_id
+                    for partition, _value in entries
+                ),
+            )
+        except FencedMemberError:
+            raise
+        except MQError:
+            raise StaleRouteError([p for p, _ in entries]) from None
+
+    async def poll(self, max_records: int | None = None) -> list[Record]:
+        """Block until records are available on this member's own queue."""
+        while True:
+            await self.coordinator.wait_unpaused()
+            self._check_fenced()
+            records = await self.broker.fetch(
+                self.topic_name,
+                self.member_id,
+                self.position,
+                self.member_id,
+                max_records,
+            )
+            if records:
+                self.position = records[-1].offset + 1
+                return records
+            waiter = self.broker.wait_for_append(self.topic_name, self.member_id)
+            await waiter

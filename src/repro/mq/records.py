@@ -1,0 +1,21 @@
+"""Immutable records stored in partitions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Record"]
+
+
+@dataclass(frozen=True)
+class Record:
+    """One message at a fixed offset within a partition."""
+
+    partition: str
+    offset: int
+    timestamp: float
+    value: Any
+
+    def __repr__(self) -> str:
+        return f"Record({self.partition}@{self.offset} t={self.timestamp:.3f})"

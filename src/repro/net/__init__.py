@@ -1,0 +1,5 @@
+"""Direct, non-reliable transport: the paper's baseline for Table 2."""
+
+from repro.net.http import HttpEndpoint
+
+__all__ = ["HttpEndpoint"]

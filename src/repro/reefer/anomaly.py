@@ -1,0 +1,56 @@
+"""The AnomalyRouter singleton: routes refrigeration anomalies.
+
+Maintains a container-location map (fed by tells from the depots) so an
+anomaly event can be routed to the right party: the voyage carrying the
+container (cargo spoils) or the depot holding it (unit to maintenance).
+"""
+
+from __future__ import annotations
+
+from repro.core import Actor, actor_proxy
+
+__all__ = ["AnomalyRouter"]
+
+
+class AnomalyRouter(Actor):
+    async def containers_assigned(self, ctx, containers: list,
+                                  voyage_id: str, order_id: str):
+        table = dict(await ctx.state.get("where", {}))
+        for container in containers:
+            table[container] = ("voyage", voyage_id, order_id)
+        await ctx.state.set("where", table)
+
+    async def containers_at_depot(self, ctx, containers: list, port: str):
+        table = dict(await ctx.state.get("where", {}))
+        for container in containers:
+            table[container] = ("depot", port)
+        await ctx.state.set("where", table)
+
+    async def container_damaged(self, ctx, container: str):
+        table = dict(await ctx.state.get("where", {}))
+        table[container] = ("damaged",)
+        await ctx.state.set("where", table)
+
+    async def anomaly(self, ctx, container: str):
+        """Route one anomaly event based on the container's last location."""
+        table = await ctx.state.get("where", {})
+        location = table.get(container)
+        if location is None:
+            return "unknown"
+        location = tuple(location)
+        if location[0] == "voyage":
+            _tag, voyage_id, order_id = location
+            return await ctx.call(
+                actor_proxy("Voyage", voyage_id),
+                "reefer_anomaly",
+                container,
+                order_id,
+            )
+        if location[0] == "depot":
+            return await ctx.call(
+                actor_proxy("Depot", location[1]), "reefer_anomaly", container
+            )
+        return "already-damaged"
+
+    async def locations(self, ctx):
+        return await ctx.state.get("where", {})

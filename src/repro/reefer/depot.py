@@ -1,0 +1,136 @@
+"""The Depot actor: container inventory management for one port.
+
+Depots interface *directly* with the external inventory service (KAR's
+separation principle: no common transactional store). Allocation is written
+to recover cleanly: container locations are assignments keyed by order id,
+so a retried allocation first reclaims containers it already tagged, then
+allocates the remainder -- no container is leaked or double-booked across
+failures. The inventory service is fenced for failed components, so a
+lingering write from a dead depot cannot land (Section 2.3).
+"""
+
+from __future__ import annotations
+
+from repro.core import Actor, actor_proxy
+
+__all__ = ["Depot", "INVENTORY_KEY"]
+
+from repro.reefer.managers import SERVICES
+
+INVENTORY_KEY = "containers"
+
+
+class Depot(Actor):
+    """Instance id = port name."""
+
+    def _inventory(self, ctx):
+        return ctx.external(SERVICES["inventory"])
+
+    async def reserve_containers(self, ctx, order_id: str, voyage_id: str,
+                                 quantity: int):
+        """Allocate ``quantity`` containers to the order (shaded box in
+        Figure 6: an external state update isolated in one tail-call link)."""
+        inventory = self._inventory(ctx)
+        port = ctx.self_ref.id
+        locations = await inventory.hgetall(INVENTORY_KEY)
+        mine = ("order", order_id, voyage_id)
+        allocated = sorted(
+            cid for cid, loc in locations.items() if tuple(loc) == mine
+        )
+        available = sorted(
+            cid
+            for cid, loc in locations.items()
+            if tuple(loc) == ("depot", port)
+        )
+        needed = quantity - len(allocated)
+        if needed > len(available):
+            # Release anything reclaimed, then reject *through the voyage*
+            # so its capacity reservation is released and the order leaves
+            # the manifest (idempotent: a retry re-runs the same writes).
+            for cid in allocated:
+                await inventory.hset(INVENTORY_KEY, cid, ("depot", port))
+            return ctx.tail_call(
+                actor_proxy("Voyage", voyage_id),
+                "release_reservation",
+                order_id,
+                f"not enough containers at {port}",
+            )
+        chosen = allocated + available[: max(needed, 0)]
+        for cid in chosen:
+            await inventory.hset(INVENTORY_KEY, cid, mine)
+        await ctx.tell(
+            actor_proxy("AnomalyRouter", "singleton"),
+            "containers_assigned",
+            chosen,
+            voyage_id,
+            order_id,
+        )
+        await ctx.tell(
+            actor_proxy("DepotManager", "singleton"),
+            "containers_moved",
+            port,
+            len(chosen),
+            "allocated",
+        )
+        return ctx.tail_call(
+            actor_proxy("Order", order_id), "booked", voyage_id, chosen
+        )
+
+    async def receive_containers(self, ctx, voyage_id: str, order_ids: list):
+        """Arrival: containers of the voyage's orders land at this depot."""
+        inventory = self._inventory(ctx)
+        port = ctx.self_ref.id
+        locations = await inventory.hgetall(INVENTORY_KEY)
+        landed = []
+        for cid, loc in sorted(locations.items()):
+            loc = tuple(loc)
+            if len(loc) == 3 and loc[0] == "order" and loc[2] == voyage_id:
+                await inventory.hset(INVENTORY_KEY, cid, ("depot", port))
+                landed.append(cid)
+        if landed:
+            await ctx.tell(
+                actor_proxy("AnomalyRouter", "singleton"),
+                "containers_at_depot",
+                landed,
+                port,
+            )
+            await ctx.tell(
+                actor_proxy("DepotManager", "singleton"),
+                "containers_moved",
+                port,
+                len(landed),
+                "received",
+            )
+        return {"voyage_id": voyage_id, "landed": len(landed)}
+
+    async def reefer_anomaly(self, ctx, container: str):
+        """A refrigeration failure in the yard: the unit goes to
+        maintenance (removed from the available pool)."""
+        inventory = self._inventory(ctx)
+        port = ctx.self_ref.id
+        location = await inventory.hget(INVENTORY_KEY, container)
+        if location is None or tuple(location) != ("depot", port):
+            return "not-here"
+        await inventory.hset(INVENTORY_KEY, container, ("damaged",))
+        await ctx.tell(
+            actor_proxy("AnomalyRouter", "singleton"),
+            "container_damaged",
+            container,
+        )
+        await ctx.tell(
+            actor_proxy("DepotManager", "singleton"),
+            "container_damaged",
+            container,
+            port,
+        )
+        return "damaged"
+
+    async def available(self, ctx):
+        inventory = self._inventory(ctx)
+        port = ctx.self_ref.id
+        locations = await inventory.hgetall(INVENTORY_KEY)
+        return sorted(
+            cid
+            for cid, loc in locations.items()
+            if tuple(loc) == ("depot", port)
+        )

@@ -1,0 +1,98 @@
+"""Domain model: ports, routes, voyages, orders, containers.
+
+Times are simulated seconds. The container *inventory* is an external
+stateful service (a plain key-value store the Depot actors interface with
+directly -- KAR's separation principle), mapping each container id to its
+location:
+
+- ``("depot", port)`` -- available at a port depot;
+- ``("order", order_id, voyage_id)`` -- allocated to an order on a voyage;
+- ``("damaged",)`` -- out of service after a refrigeration anomaly.
+
+Locations are *assignments*, so re-running an interrupted allocation is
+idempotent: a retry first reclaims containers already tagged with its order
+id, then allocates the remainder (recovery-conscious code in the style the
+paper advocates; see Section 2.3's discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "OrderSpec",
+    "OrderState",
+    "ROUTES",
+    "Route",
+    "VoyageState",
+    "container_id",
+    "voyage_plan",
+]
+
+
+class OrderState:
+    """Lifecycle of an order (persisted in the Order actor)."""
+
+    PENDING = "pending"
+    BOOKED = "booked"
+    INTRANSIT = "in-transit"
+    DELIVERED = "delivered"
+    SPOILED = "spoiled"
+
+    TERMINAL = (DELIVERED, SPOILED)
+
+
+class VoyageState:
+    SCHEDULED = "scheduled"
+    DEPARTED = "departed"
+    ARRIVED = "arrived"
+
+
+@dataclass(frozen=True)
+class Route:
+    """A shipping lane with a fixed transit time and sailing cadence."""
+
+    origin: str
+    destination: str
+    transit_seconds: float
+    cadence_seconds: float  # departure every this many seconds
+    ship_capacity: int  # containers per sailing
+
+
+#: The simulated shipping network (compact but multi-route, so depots,
+#: voyages and anomalies interleave).
+ROUTES: tuple[Route, ...] = (
+    Route("Elizabeth", "Oakland", 60.0, 30.0, 20),
+    Route("Oakland", "Shanghai", 90.0, 45.0, 24),
+    Route("Shanghai", "Singapore", 45.0, 30.0, 16),
+)
+
+PORTS: tuple[str, ...] = ("Elizabeth", "Oakland", "Shanghai", "Singapore")
+
+
+@dataclass(frozen=True)
+class OrderSpec:
+    """A client booking request (route + containers needed)."""
+
+    customer: str
+    product: str
+    origin: str
+    destination: str
+    quantity: int  # refrigerated containers required
+
+
+def container_id(port: str, index: int) -> str:
+    return f"C-{port[:3].upper()}-{index:04d}"
+
+
+def voyage_plan(route: Route, ordinal: int, first_departure: float) -> dict:
+    """Deterministic schedule entry for the ``ordinal``-th sailing."""
+    departure = first_departure + ordinal * route.cadence_seconds
+    return {
+        "voyage_id": f"V-{route.origin[:3].upper()}{route.destination[:3].upper()}-{ordinal:04d}",
+        "origin": route.origin,
+        "destination": route.destination,
+        "departure": departure,
+        "arrival": departure + route.transit_seconds,
+        "capacity": route.ship_capacity,
+    }

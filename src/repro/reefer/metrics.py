@@ -1,0 +1,91 @@
+"""Application-level metrics: order latencies and lifecycle accounting.
+
+Feeds Figure 7b (maximum order latency around failures) and the no-lost-
+orders invariant of Section 6.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim import Kernel
+
+__all__ = ["OrderRecord", "ReeferMetrics"]
+
+
+@dataclass
+class OrderRecord:
+    order_id: str
+    submitted_at: float
+    completed_at: float | None = None
+    status: str | None = None
+
+    @property
+    def latency(self) -> float | None:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+
+@dataclass
+class ReeferMetrics:
+    kernel: Kernel
+    orders: dict[str, OrderRecord] = field(default_factory=dict)
+    departures_seen: int = 0
+    arrivals_seen: int = 0
+
+    # ------------------------------------------------------------------
+    def order_submitted(self, order_id: str) -> None:
+        self.orders[order_id] = OrderRecord(order_id, self.kernel.now)
+
+    def order_completed(self, order_id: str, status: str) -> None:
+        record = self.orders.get(order_id)
+        if record is None:  # pragma: no cover - submit always precedes
+            record = OrderRecord(order_id, self.kernel.now)
+            self.orders[order_id] = record
+        record.completed_at = self.kernel.now
+        record.status = status
+
+    # ------------------------------------------------------------------
+    @property
+    def submitted(self) -> list[str]:
+        return sorted(self.orders)
+
+    @property
+    def completed(self) -> list[OrderRecord]:
+        return [r for r in self.orders.values() if r.completed_at is not None]
+
+    @property
+    def in_flight(self) -> list[str]:
+        return sorted(
+            order_id
+            for order_id, record in self.orders.items()
+            if record.completed_at is None
+        )
+
+    def latencies(self) -> list[float]:
+        return [record.latency for record in self.completed]
+
+    def max_latency_in_window(self, start: float, end: float) -> float | None:
+        """Maximum booking latency among orders whose lifetime intersects
+        the window -- the per-failure series of Figure 7b."""
+        worst = None
+        for record in self.completed:
+            if record.submitted_at <= end and record.completed_at >= start:
+                latency = record.latency
+                if worst is None or latency > worst:
+                    worst = latency
+        return worst
+
+    def summary(self) -> dict:
+        latencies = sorted(self.latencies())
+        if not latencies:
+            return {"count": 0}
+        mid = len(latencies) // 2
+        return {
+            "count": len(latencies),
+            "in_flight": len(self.in_flight),
+            "median_latency": latencies[mid],
+            "max_latency": latencies[-1],
+            "mean_latency": sum(latencies) / len(latencies),
+        }

@@ -1,0 +1,138 @@
+"""The Order actor: one instance per client order (Figure 6's hub).
+
+``create`` -> (sync call to ScheduleManager.find_voyage) -> tail call to
+Voyage.reserve; the chain later re-enters this actor at ``booked``, which
+runs the reentrant sub-orchestration (synchronous call back up through
+OrderManager to the WebAPI), fires the asynchronous schedule update, and
+tail-calls the final OrderManager step whose return value answers the
+original client request.
+"""
+
+from __future__ import annotations
+
+from repro.core import Actor, actor_proxy
+from repro.reefer.domain import OrderState
+
+__all__ = ["Order"]
+
+
+class Order(Actor):
+    async def activate(self, ctx):
+        self.status = await ctx.state.get("status")
+
+    # ------------------------------------------------------------------
+    # the booking chain
+    # ------------------------------------------------------------------
+    async def create(self, ctx, spec: dict):
+        """Persist the order, pick a voyage, continue the tail chain."""
+        await ctx.state.set_multiple(
+            {
+                "status": OrderState.PENDING,
+                "spec": spec,
+            }
+        )
+        self.status = OrderState.PENDING
+        plan = await ctx.call(
+            actor_proxy("ScheduleManager", "singleton"),
+            "find_voyage",
+            spec["origin"],
+            spec["destination"],
+            spec["quantity"],
+            ctx.now,
+        )
+        return ctx.tail_call(
+            actor_proxy("Voyage", plan["voyage_id"]),
+            "reserve",
+            spec["order_id"],
+            spec["quantity"],
+            plan,
+        )
+
+    async def booked(self, ctx, voyage_id: str, containers: list):
+        """Containers are allocated: record, notify, finish the chain.
+
+        The synchronous ``order_accepted`` call is the reentrant
+        sub-orchestration of Figure 6; the ScheduleManager update is the
+        asynchronous tell; the tail call produces the client's answer.
+        """
+        spec = await ctx.state.get("spec", {})
+        await ctx.state.set_multiple(
+            {
+                "status": OrderState.BOOKED,
+                "voyage_id": voyage_id,
+                "containers": list(containers),
+            }
+        )
+        self.status = OrderState.BOOKED
+        await ctx.call(
+            actor_proxy("OrderManager", "singleton"),
+            "order_accepted",
+            spec.get("order_id", ctx.self_ref.id),
+        )
+        await ctx.tell(
+            actor_proxy("ScheduleManager", "singleton"),
+            "voyage_booked",
+            voyage_id,
+            len(containers),
+            ctx.self_ref.id,
+        )
+        return ctx.tail_call(
+            actor_proxy("OrderManager", "singleton"),
+            "order_booked",
+            ctx.self_ref.id,
+            voyage_id,
+            list(containers),
+        )
+
+    async def rejected(self, ctx, reason: str):
+        """No capacity / no containers: terminal rejection."""
+        await ctx.state.set("status", "rejected")
+        self.status = "rejected"
+        return ctx.tail_call(
+            actor_proxy("OrderManager", "singleton"),
+            "order_rejected",
+            ctx.self_ref.id,
+            reason,
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle events from the Voyage actor
+    # ------------------------------------------------------------------
+    async def departed(self, ctx):
+        if self.status in (*OrderState.TERMINAL, "rejected"):
+            return
+        await ctx.state.set("status", OrderState.INTRANSIT)
+        self.status = OrderState.INTRANSIT
+        await ctx.tell(
+            actor_proxy("OrderManager", "singleton"),
+            "order_departed",
+            ctx.self_ref.id,
+        )
+
+    async def delivered(self, ctx):
+        if self.status in (OrderState.SPOILED, "rejected"):
+            return  # spoiled or rejected cargo is not delivered
+        await ctx.state.set("status", OrderState.DELIVERED)
+        self.status = OrderState.DELIVERED
+        # The paper removes order state upon arrival at the destination
+        # port (Section 5); the manager keeps the record of existence.
+        await ctx.state.remove("spec")
+        return ctx.tail_call(
+            actor_proxy("OrderManager", "singleton"),
+            "order_delivered",
+            ctx.self_ref.id,
+        )
+
+    async def spoiled(self, ctx):
+        if self.status in (OrderState.DELIVERED, "rejected"):
+            return
+        await ctx.state.set("status", OrderState.SPOILED)
+        self.status = OrderState.SPOILED
+        await ctx.tell(
+            actor_proxy("OrderManager", "singleton"),
+            "order_spoiled",
+            ctx.self_ref.id,
+        )
+
+    async def describe(self, ctx):
+        return await ctx.state.get_all()

@@ -1,0 +1,130 @@
+"""The Voyage actor: one instance per scheduled sailing.
+
+Reservation is idempotent by order id (a retried ``reserve`` never
+double-books capacity); departure and arrival are idempotent by state.
+"""
+
+from __future__ import annotations
+
+from repro.core import Actor, actor_proxy
+from repro.reefer.domain import VoyageState
+
+__all__ = ["Voyage"]
+
+
+class Voyage(Actor):
+    async def activate(self, ctx):
+        self.plan = await ctx.state.get("plan")
+        self.state = await ctx.state.get("state", VoyageState.SCHEDULED)
+
+    async def reserve(self, ctx, order_id: str, quantity: int, plan: dict):
+        """Reserve capacity for an order; continue to the origin depot."""
+        if self.plan is None:
+            await ctx.state.set("plan", plan)
+            self.plan = plan
+        orders = dict(await ctx.state.get("orders", {}))
+        if order_id not in orders:
+            used = sum(orders.values())
+            if used + quantity > self.plan["capacity"]:
+                return ctx.tail_call(
+                    actor_proxy("Order", order_id),
+                    "rejected",
+                    f"voyage {ctx.self_ref.id} full",
+                )
+            orders[order_id] = quantity
+            await ctx.state.set("orders", orders)
+        return ctx.tail_call(
+            actor_proxy("Depot", self.plan["origin"]),
+            "reserve_containers",
+            order_id,
+            ctx.self_ref.id,
+            quantity,
+        )
+
+    async def release_reservation(self, ctx, order_id: str, reason: str):
+        """Undo a reservation whose container allocation failed: the order
+        must leave the manifest before it is rejected, or arrival would
+        "deliver" cargo that never shipped."""
+        orders = dict(await ctx.state.get("orders", {}))
+        if order_id in orders:
+            del orders[order_id]
+            await ctx.state.set("orders", orders)
+        return ctx.tail_call(
+            actor_proxy("Order", order_id), "rejected", reason
+        )
+
+    async def depart(self, ctx):
+        """Idempotent against both redelivery and *partial* execution: a
+        retry interrupted between the state write and the notifications
+        must finish notifying. Receivers are idempotent, so the method
+        re-tells until the completion flag (written last) is set."""
+        if self.state == VoyageState.ARRIVED:
+            return self.state
+        if not await ctx.state.get("depart_done", False):
+            orders = await ctx.state.get("orders", {})
+            for order_id in sorted(orders):
+                await ctx.tell(actor_proxy("Order", order_id), "departed")
+            await ctx.tell(
+                actor_proxy("VoyageManager", "singleton"),
+                "voyage_departed",
+                ctx.self_ref.id,
+                ctx.now,
+            )
+            await ctx.state.set("state", VoyageState.DEPARTED)
+            self.state = VoyageState.DEPARTED
+            await ctx.state.set("depart_done", True)
+        return VoyageState.DEPARTED
+
+    async def position(self, ctx, fraction: float):
+        """Periodic in-transit position broadcast."""
+        await ctx.state.set("position", fraction)
+        await ctx.tell(
+            actor_proxy("VoyageManager", "singleton"),
+            "position",
+            ctx.self_ref.id,
+            fraction,
+        )
+
+    async def arrive(self, ctx):
+        """Same partial-execution discipline as ``depart``; the final tail
+        call to the destination depot re-runs harmlessly (a second
+        ``receive_containers`` finds nothing left to move)."""
+        if self.state == VoyageState.SCHEDULED:
+            return self.state  # cannot arrive before departing
+        orders = await ctx.state.get("orders", {})
+        if not await ctx.state.get("arrive_done", False):
+            for order_id in sorted(orders):
+                await ctx.tell(actor_proxy("Order", order_id), "delivered")
+            await ctx.tell(
+                actor_proxy("VoyageManager", "singleton"),
+                "voyage_arrived",
+                ctx.self_ref.id,
+                ctx.now,
+            )
+            await ctx.state.set("state", VoyageState.ARRIVED)
+            self.state = VoyageState.ARRIVED
+            await ctx.state.set("arrive_done", True)
+        if not self.plan:
+            return VoyageState.ARRIVED
+        return ctx.tail_call(
+            actor_proxy("Depot", self.plan["destination"]),
+            "receive_containers",
+            ctx.self_ref.id,
+            sorted(orders),
+        )
+
+    async def reefer_anomaly(self, ctx, container: str, order_id: str):
+        """A container failed at sea: the order's cargo spoils."""
+        orders = await ctx.state.get("orders", {})
+        if order_id not in orders:
+            return "unknown-order"
+        await ctx.tell(actor_proxy("Order", order_id), "spoiled")
+        return "spoiled"
+
+    async def describe(self, ctx):
+        return {
+            "state": self.state,
+            "plan": self.plan,
+            "orders": await ctx.state.get("orders", {}),
+            "position": await ctx.state.get("position"),
+        }

@@ -1,0 +1,55 @@
+"""The WebAPI: a stateless external service receiving actor notifications.
+
+In the paper's architecture (Figure 5a) the WebAPI pushes order updates to
+the browser UI. Here it is an external stateful-interface service (it
+records notifications) with *forceful disconnection*: a fenced component's
+late notifications are refused, exercising the requirement of Section 2.3
+for every service KAR components interact with.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.kvstore.errors import FencedClientError
+from repro.sim import Kernel, Latency
+
+__all__ = ["WebAPIService"]
+
+
+class WebAPIService:
+    """Notification sink with per-client fencing and latency."""
+
+    def __init__(self, kernel: Kernel, latency: Latency = Latency.fixed(0.0005)):
+        self.kernel = kernel
+        self.latency = latency
+        self.notifications: list[tuple[float, str, Any]] = []
+        self._fenced: set[str] = set()
+
+    def fence(self, client_id: str) -> None:
+        self._fenced.add(client_id)
+
+    def unfence(self, client_id: str) -> None:
+        self._fenced.discard(client_id)
+
+    def client(self, client_id: str) -> "WebAPIClient":
+        return WebAPIClient(self, client_id)
+
+    def events(self, kind: str) -> list[Any]:
+        return [payload for _t, k, payload in self.notifications if k == kind]
+
+
+class WebAPIClient:
+    def __init__(self, service: WebAPIService, client_id: str):
+        self.service = service
+        self.client_id = client_id
+
+    async def post(self, kind: str, payload: Any) -> None:
+        await self.service.kernel.sleep(
+            self.service.latency.sample(self.service.kernel.rng)
+        )
+        if self.client_id in self.service._fenced:
+            raise FencedClientError(self.client_id)
+        self.service.notifications.append(
+            (self.service.kernel.now, kind, payload)
+        )

@@ -1,0 +1,80 @@
+"""Executable formal semantics of KAR (Section 3).
+
+This package implements the paper's process calculus literally:
+
+- :mod:`repro.semantics.state` -- messages, flows, ensembles, persistent
+  state, runtime states (immutable and hashable);
+- :mod:`repro.semantics.program` -- the base-language abstraction of
+  Section 3.1: a program is a set of transitions over terms;
+- :mod:`repro.semantics.lang` -- a mini actor language (structured AST)
+  compiled to the transition form, used to author model programs;
+- :mod:`repro.semantics.predicates` -- ``reachable`` / ``runnable`` /
+  ``preemptable`` (Sections 3.4, 3.6);
+- :mod:`repro.semantics.rules` -- the eight rules of Figure 3 plus the
+  failure rule and Figure 4's cancellation/preemption;
+- :mod:`repro.semantics.explorer` -- bounded exhaustive state-space
+  exploration with invariant monitors;
+- :mod:`repro.semantics.theorems` -- monitors for Theorems 3.1-3.4;
+- :mod:`repro.semantics.examples` -- the paper's model programs (Latch
+  getset, the three Accumulator increment variants, the reentrancy example).
+"""
+
+from repro.semantics.explorer import ExplorationResult, Explorer
+from repro.semantics.lang import (
+    Assign,
+    BinOp,
+    CallExpr,
+    GetState,
+    If,
+    Lit,
+    MethodDef,
+    ModelProgram,
+    Return,
+    SetState,
+    TailStmt,
+    TellStmt,
+    Var,
+    compile_method,
+)
+from repro.semantics.predicates import preemptable, reachable, runnable
+from repro.semantics.rules import RuleEngine
+from repro.semantics.state import (
+    Ensemble,
+    Guard,
+    Msg,
+    ProcEntry,
+    RuntimeState,
+    initial_state,
+)
+from repro.semantics.theorems import TheoremViolation, make_monitors
+
+__all__ = [
+    "Assign",
+    "BinOp",
+    "CallExpr",
+    "Ensemble",
+    "ExplorationResult",
+    "Explorer",
+    "GetState",
+    "Guard",
+    "If",
+    "Lit",
+    "MethodDef",
+    "ModelProgram",
+    "Msg",
+    "ProcEntry",
+    "Return",
+    "RuleEngine",
+    "RuntimeState",
+    "SetState",
+    "TailStmt",
+    "TellStmt",
+    "TheoremViolation",
+    "Var",
+    "compile_method",
+    "initial_state",
+    "make_monitors",
+    "preemptable",
+    "reachable",
+    "runnable",
+]

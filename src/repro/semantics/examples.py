@@ -1,0 +1,204 @@
+"""The paper's worked examples as model programs.
+
+- :func:`latch_getset` -- Section 3.1's ``getset`` transition family;
+- :func:`accumulator_tail` / :func:`accumulator_unsafe` /
+  :func:`accumulator_nested` -- the three increment variants of Section 2.3
+  (the tail-call version is the only fault-tolerant one);
+- :func:`nested_call_model` -- the caller/callee pair of Figure 1;
+- :func:`reentrancy_model` -- A.main -> B.task -> A.callback of Section 2.2.
+
+In these models the external store of the Accumulator example is folded into
+the wrapper actor's persistent state (the formal semantics' ``S`` survives
+failures exactly like the external store does).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.semantics.lang import (
+    Assign,
+    BinOp,
+    CallExpr,
+    GetState,
+    Lit,
+    MethodDef,
+    ModelProgram,
+    Return,
+    SetState,
+    TailStmt,
+    Var,
+)
+from repro.semantics.state import RuntimeState, initial_state
+
+__all__ = [
+    "accumulator_nested",
+    "accumulator_tail",
+    "accumulator_unsafe",
+    "latch_getset",
+    "nested_call_model",
+    "reentrancy_model",
+]
+
+
+def latch_getset() -> tuple[ModelProgram, RuntimeState]:
+    """``getset(v)``: swap the actor state with ``v``, return the old value.
+
+    Matches the paper's transition family: in_v -> out_p -> return p."""
+    program = ModelProgram()
+    program.define(
+        MethodDef(
+            "getset",
+            "v",
+            (
+                Assign("old", GetState()),  # in_v / p -> out_p / p
+                SetState(Var("v")),  # out_p / p -> ... / v
+                Return(Var("old")),
+            ),
+        )
+    )
+    return program, initial_state("latch", "getset", 42, {"latch": 7})
+
+
+def accumulator_tail() -> tuple[ModelProgram, RuntimeState]:
+    """Section 2.3's correct increment: read, then *tail call* set."""
+    program = ModelProgram()
+    program.define(
+        MethodDef(
+            "incr",
+            "_",
+            (
+                Assign("value", GetState()),  # store.get
+                TailStmt(Lit("acc"), "set", BinOp("+", Var("value"), Lit(1))),
+            ),
+        )
+    )
+    program.define(
+        MethodDef(
+            "set",
+            "value",
+            (
+                SetState(Var("value")),  # store.set
+                Return(Lit("OK")),
+            ),
+        )
+    )
+    return program, initial_state("acc", "incr", None, {"acc": 0})
+
+
+def accumulator_unsafe() -> tuple[ModelProgram, RuntimeState]:
+    """First incorrect variant: read and write inside one method body --
+    a failure after the write but before the return double-increments."""
+    program = ModelProgram()
+    program.define(
+        MethodDef(
+            "incr",
+            "_",
+            (
+                Assign("value", GetState()),
+                SetState(BinOp("+", Var("value"), Lit(1))),
+                Return(Lit("OK")),
+            ),
+        )
+    )
+    return program, initial_state("acc", "incr", None, {"acc": 0})
+
+
+def accumulator_nested() -> tuple[ModelProgram, RuntimeState]:
+    """Second incorrect variant: a *nested* call to set instead of a tail
+    call -- a failure after set returns but before incr completes repeats
+    the increment on retry."""
+    program = ModelProgram()
+    program.define(
+        MethodDef(
+            "incr",
+            "_",
+            (
+                Assign("value", GetState()),
+                Assign(
+                    "result",
+                    CallExpr(Lit("acc"), "set", BinOp("+", Var("value"), Lit(1))),
+                ),
+                Return(Var("result")),
+            ),
+        )
+    )
+    program.define(
+        MethodDef(
+            "set",
+            "value",
+            (
+                SetState(Var("value")),
+                Return(Lit("OK")),
+            ),
+        )
+    )
+    return program, initial_state("acc", "incr", None, {"acc": 0})
+
+
+def nested_call_model() -> tuple[ModelProgram, RuntimeState]:
+    """Figure 1's shape: caller (square) invokes callee (diamond)."""
+    program = ModelProgram()
+    program.define(
+        MethodDef(
+            "main",
+            "v",
+            (
+                Assign("result", CallExpr(Lit("callee"), "task", Var("v"))),
+                Return(Var("result")),
+            ),
+        )
+    )
+    program.define(
+        MethodDef(
+            "task",
+            "v",
+            (
+                Assign("out", BinOp("+", Var("v"), Lit(1))),
+                SetState(Var("out")),  # an observable side effect
+                Return(Var("out")),
+            ),
+        )
+    )
+    return program, initial_state("caller", "main", 10)
+
+
+def reentrancy_model() -> tuple[ModelProgram, RuntimeState]:
+    """Section 2.2: A.main calls B.task which calls back A.callback."""
+    program = ModelProgram()
+    program.define(
+        MethodDef(
+            "main",
+            "v",
+            (
+                Assign("result", CallExpr(Lit("b"), "task", Var("v"))),
+                Return(Var("result")),
+            ),
+        )
+    )
+    program.define(
+        MethodDef(
+            "task",
+            "v",
+            (
+                Assign("result", CallExpr(Lit("a"), "callback", Var("v"))),
+                Return(Var("result")),
+            ),
+        )
+    )
+    program.define(
+        MethodDef(
+            "callback",
+            "v",
+            (
+                SetState(BinOp("+", GetState(), Lit(1))),  # count callbacks
+                Return(Var("v")),
+            ),
+        )
+    )
+    return program, initial_state("a", "main", 5, {"a": 0})
+
+
+def final_counter(state: Any, actor: str = "acc") -> Any:
+    """Helper for assertions on quiescent stores."""
+    return dict(state.store).get(actor)

@@ -1,0 +1,151 @@
+"""Bounded exhaustive exploration of the semantics' state space.
+
+Breadth-first search over :class:`RuntimeState` with a failure budget:
+every path may apply the failure rule at most ``max_failures`` times
+(singleton failures compose, so this covers all failure sets of that size).
+Theorem monitors run on every state; quiescent states (no successors without
+new failures) are collected so analyses can assert on final stores --
+e.g. "the counter is exactly one higher on every quiescent state".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.semantics.rules import Labelled, RuleEngine
+from repro.semantics.state import RuntimeState
+
+__all__ = ["ExplorationResult", "Explorer"]
+
+
+@dataclass
+class ExplorationResult:
+    """Everything learned from one bounded exploration."""
+
+    states_visited: int
+    quiescent: list[RuntimeState]
+    #: One representative rule-trace per quiescent state (same order).
+    traces: list[tuple[tuple[str, tuple], ...]]
+    truncated: bool = False
+
+    def quiescent_stores(self) -> list[dict]:
+        return [dict(state.store) for state in self.quiescent]
+
+    def find_quiescent(
+        self, predicate: Callable[[RuntimeState], bool]
+    ) -> tuple[RuntimeState, tuple] | None:
+        """A quiescent state (and its trace) satisfying ``predicate``."""
+        for state, trace in zip(self.quiescent, self.traces):
+            if predicate(state):
+                return state, trace
+        return None
+
+
+@dataclass
+class _Node:
+    state: RuntimeState
+    failures_left: int
+    started: frozenset  # {(id, actor)} -- ids that ever had a process
+    responded: frozenset  # ids that ever had a response in the flow
+    trace: tuple = ()
+
+
+class Explorer:
+    """BFS with memoization and invariant monitors."""
+
+    def __init__(
+        self,
+        program: Any,
+        cancellation: bool = False,
+        preemption: bool = False,
+        max_failures: int = 0,
+        max_states: int = 200_000,
+        monitors: Iterable[Callable] = (),
+        keep_traces: bool = True,
+    ):
+        self.engine = RuleEngine(program, cancellation, preemption)
+        self.max_failures = max_failures
+        self.max_states = max_states
+        self.monitors = tuple(monitors)
+        self.keep_traces = keep_traces
+
+    def explore(self, initial: RuntimeState) -> ExplorationResult:
+        start = _Node(
+            state=initial,
+            failures_left=self.max_failures,
+            started=frozenset(),
+            responded=frozenset(),
+        )
+        queue: deque[_Node] = deque([start])
+        visited: set = set()
+        quiescent: list[RuntimeState] = []
+        traces: list[tuple] = []
+        quiescent_seen: set = set()
+        count = 0
+        truncated = False
+
+        while queue:
+            node = queue.popleft()
+            key = (node.state, node.failures_left, node.started, node.responded)
+            if key in visited:
+                continue
+            visited.add(key)
+            count += 1
+            if count > self.max_states:
+                truncated = True
+                break
+            for monitor in self.monitors:
+                monitor(node.state, node.started, node.responded)
+
+            progressed = False
+            failure_successors: list[Labelled] = []
+            for labelled in self.engine.successors(
+                node.state, allow_failure=node.failures_left > 0
+            ):
+                if labelled.rule == "failure":
+                    failure_successors.append(labelled)
+                    continue
+                progressed = True
+                queue.append(self._advance(node, labelled, failure=False))
+            for labelled in failure_successors:
+                queue.append(self._advance(node, labelled, failure=True))
+
+            if not progressed:
+                fingerprint = node.state
+                if fingerprint not in quiescent_seen:
+                    quiescent_seen.add(fingerprint)
+                    quiescent.append(node.state)
+                    traces.append(node.trace)
+
+        return ExplorationResult(
+            states_visited=count,
+            quiescent=quiescent,
+            traces=traces,
+            truncated=truncated,
+        )
+
+    def _advance(self, node: _Node, labelled: Labelled, failure: bool) -> _Node:
+        started = node.started
+        if labelled.rule == "begin":
+            request_id, actor, _method = labelled.detail
+            started = started | {(request_id, actor)}
+        responded = node.responded
+        new_responses = {
+            msg.id for msg in labelled.state.flow if msg.kind == "resp"
+        }
+        if not new_responses.issubset(responded):
+            responded = responded | frozenset(new_responses)
+        trace = (
+            node.trace + ((labelled.rule, labelled.detail),)
+            if self.keep_traces
+            else ()
+        )
+        return _Node(
+            state=labelled.state,
+            failures_left=node.failures_left - (1 if failure else 0),
+            started=started,
+            responded=responded,
+            trace=trace,
+        )

@@ -1,0 +1,402 @@
+"""A mini actor language compiled to the transition form of Section 3.1.
+
+The paper abstracts method bodies into families of sequels ("intermediate
+points in the execution ... combined with the local state"). Writing those
+families by hand is error-prone, so this module provides a small structured
+AST and a compiler into a bytecode whose program counter + locals *are* the
+sequel. One bytecode instruction corresponds to one (step) transition (or to
+a (call)/(tell)/(tail-call)/(end) form), so failure interleavings explored by
+the model checker land between every pair of source-level operations.
+
+AST
+---
+
+Statements: :class:`Assign`, :class:`SetState`, :class:`If`,
+:class:`Return`, :class:`TellStmt`, :class:`TailStmt`.
+Expressions: :class:`Lit`, :class:`Var`, :class:`GetState`,
+:class:`BinOp`, :class:`CallExpr` (only as the right-hand side of an
+``Assign`` -- nested calls suspend the frame).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.semantics.program import (
+    CallOut,
+    EndOut,
+    Outcome,
+    StepOut,
+    TailOut,
+    TellOut,
+)
+
+__all__ = [
+    "Assign",
+    "BinOp",
+    "CallExpr",
+    "GetState",
+    "If",
+    "Lit",
+    "MethodDef",
+    "ModelProgram",
+    "Return",
+    "SetState",
+    "TailStmt",
+    "TellStmt",
+    "Var",
+    "compile_method",
+]
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Lit:
+    value: Any
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+
+
+@dataclass(frozen=True)
+class GetState:
+    """Read the whole actor state (the paper's ``p``)."""
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str  # one of + - * == != < <=
+    left: Any
+    right: Any
+
+
+@dataclass(frozen=True)
+class CallExpr:
+    """A nested blocking invocation; only legal as an Assign's expression."""
+
+    actor: Any  # expression evaluating to an actor name
+    method: str
+    arg: Any  # expression
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Assign:
+    name: str
+    expr: Any
+
+
+@dataclass(frozen=True)
+class SetState:
+    expr: Any
+
+
+@dataclass(frozen=True)
+class If:
+    cond: Any
+    then: tuple
+    orelse: tuple = ()
+
+
+@dataclass(frozen=True)
+class Return:
+    expr: Any = Lit(None)
+
+
+@dataclass(frozen=True)
+class TellStmt:
+    actor: Any
+    method: str
+    arg: Any
+
+
+@dataclass(frozen=True)
+class TailStmt:
+    actor: Any
+    method: str
+    arg: Any
+
+
+@dataclass(frozen=True)
+class MethodDef:
+    """A named method: one parameter, a tuple of statements."""
+
+    name: str
+    param: str
+    body: tuple
+
+
+# ---------------------------------------------------------------------------
+# bytecode (the compiled transition form)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _IEval:
+    dst: str
+    expr: Any  # Lit | Var | GetState | BinOp (pure; one (step))
+
+
+@dataclass(frozen=True)
+class _IWriteState:
+    expr: Any
+
+
+@dataclass(frozen=True)
+class _ICall:
+    dst: str
+    actor: Any
+    method: str
+    arg: Any
+
+
+@dataclass(frozen=True)
+class _ITell:
+    actor: Any
+    method: str
+    arg: Any
+
+
+@dataclass(frozen=True)
+class _ITail:
+    actor: Any
+    method: str
+    arg: Any
+
+
+@dataclass(frozen=True)
+class _IReturn:
+    expr: Any
+
+
+@dataclass(frozen=True)
+class _IBranchIfFalse:
+    cond: Any
+    target: int
+
+
+@dataclass(frozen=True)
+class _IGoto:
+    target: int
+
+
+class CompileError(Exception):
+    """The method body is outside the supported fragment."""
+
+
+def _check_pure(expr: Any) -> None:
+    if isinstance(expr, CallExpr):
+        raise CompileError("nested calls are only allowed as 'Assign' values")
+    if isinstance(expr, BinOp):
+        _check_pure(expr.left)
+        _check_pure(expr.right)
+
+
+def compile_method(method: MethodDef) -> tuple:
+    """Compile an AST body to bytecode; one instruction per transition."""
+    code: list = []
+
+    def emit(instruction) -> int:
+        code.append(instruction)
+        return len(code) - 1
+
+    def compile_block(statements: Iterable[Any]) -> None:
+        for statement in statements:
+            compile_statement(statement)
+
+    def compile_statement(statement: Any) -> None:
+        if isinstance(statement, Assign):
+            if isinstance(statement.expr, CallExpr):
+                call = statement.expr
+                _check_pure(call.actor)
+                _check_pure(call.arg)
+                emit(_ICall(statement.name, call.actor, call.method, call.arg))
+            else:
+                _check_pure(statement.expr)
+                emit(_IEval(statement.name, statement.expr))
+        elif isinstance(statement, SetState):
+            _check_pure(statement.expr)
+            emit(_IWriteState(statement.expr))
+        elif isinstance(statement, Return):
+            _check_pure(statement.expr)
+            emit(_IReturn(statement.expr))
+        elif isinstance(statement, TellStmt):
+            _check_pure(statement.arg)
+            emit(_ITell(statement.actor, statement.method, statement.arg))
+        elif isinstance(statement, TailStmt):
+            _check_pure(statement.arg)
+            emit(_ITail(statement.actor, statement.method, statement.arg))
+        elif isinstance(statement, If):
+            _check_pure(statement.cond)
+            branch_at = emit(_IBranchIfFalse(statement.cond, -1))
+            compile_block(statement.then)
+            if statement.orelse:
+                goto_at = emit(_IGoto(-1))
+                code[branch_at] = _IBranchIfFalse(statement.cond, len(code))
+                compile_block(statement.orelse)
+                code[goto_at] = _IGoto(len(code))
+            else:
+                code[branch_at] = _IBranchIfFalse(statement.cond, len(code))
+        else:
+            raise CompileError(f"unsupported statement: {statement!r}")
+
+    compile_block(method.body)
+    code.append(_IReturn(Lit(None)))  # implicit return at fall-off
+    return tuple(code)
+
+
+# ---------------------------------------------------------------------------
+# evaluation of pure expressions
+# ---------------------------------------------------------------------------
+
+_BINOPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+}
+
+
+def _eval(expr: Any, locals_: dict, state: Any) -> Any:
+    if isinstance(expr, Lit):
+        return expr.value
+    if isinstance(expr, Var):
+        try:
+            return locals_[expr.name]
+        except KeyError:
+            raise CompileError(f"unbound variable {expr.name!r}") from None
+    if isinstance(expr, GetState):
+        return state
+    if isinstance(expr, BinOp):
+        return _BINOPS[expr.op](
+            _eval(expr.left, locals_, state), _eval(expr.right, locals_, state)
+        )
+    raise CompileError(f"unsupported expression: {expr!r}")
+
+
+# ---------------------------------------------------------------------------
+# the program: sequels are (method, pc, locals) tuples
+# ---------------------------------------------------------------------------
+
+def _pack(locals_: dict) -> tuple:
+    return tuple(sorted(locals_.items()))
+
+
+def _unpack(packed: tuple) -> dict:
+    return dict(packed)
+
+
+@dataclass(frozen=True)
+class _Sequel:
+    method: str
+    pc: int
+    locals: tuple
+
+    def __repr__(self) -> str:
+        return f"<{self.method}@{self.pc} {dict(self.locals)!r}>"
+
+
+@dataclass(frozen=True)
+class _AwaitSequel:
+    """Continuation of a nested call: resume stores the value into ``dst``."""
+
+    method: str
+    pc: int
+    locals: tuple
+    dst: str
+
+    def __repr__(self) -> str:
+        return f"<{self.method}@{self.pc} await->{self.dst}>"
+
+
+@dataclass
+class ModelProgram:
+    """A compiled model: the Program protocol over mini-language methods."""
+
+    methods: dict[str, MethodDef] = field(default_factory=dict)
+    _code: dict[str, tuple] = field(default_factory=dict)
+
+    def define(self, method: MethodDef) -> "ModelProgram":
+        self.methods[method.name] = method
+        self._code[method.name] = compile_method(method)
+        return self
+
+    def code(self, method: str) -> tuple:
+        try:
+            return self._code[method]
+        except KeyError:
+            raise CompileError(f"unknown method {method!r}") from None
+
+    # -- Program protocol ------------------------------------------------
+    def begin(self, method: str, arg: Any, state: Any):
+        definition = self.methods.get(method)
+        if definition is None:
+            raise CompileError(f"unknown method {method!r}")
+        yield _Sequel(method, 0, _pack({definition.param: arg}))
+
+    def outcomes(self, sequel: Any, state: Any):
+        instruction = self.code(sequel.method)[sequel.pc]
+        locals_ = _unpack(sequel.locals)
+        if isinstance(instruction, _IEval):
+            locals_[instruction.dst] = _eval(instruction.expr, locals_, state)
+            yield StepOut(
+                _Sequel(sequel.method, sequel.pc + 1, _pack(locals_)), state
+            )
+        elif isinstance(instruction, _IWriteState):
+            new_state = _eval(instruction.expr, locals_, state)
+            yield StepOut(
+                _Sequel(sequel.method, sequel.pc + 1, sequel.locals), new_state
+            )
+        elif isinstance(instruction, _ICall):
+            yield CallOut(
+                actor=_eval(instruction.actor, locals_, state),
+                method=instruction.method,
+                arg=_eval(instruction.arg, locals_, state),
+                sequel=_AwaitSequel(
+                    sequel.method, sequel.pc + 1, sequel.locals, instruction.dst
+                ),
+            )
+        elif isinstance(instruction, _ITell):
+            yield TellOut(
+                actor=_eval(instruction.actor, locals_, state),
+                method=instruction.method,
+                arg=_eval(instruction.arg, locals_, state),
+                sequel=_Sequel(sequel.method, sequel.pc + 1, sequel.locals),
+            )
+        elif isinstance(instruction, _ITail):
+            yield TailOut(
+                actor=_eval(instruction.actor, locals_, state),
+                method=instruction.method,
+                arg=_eval(instruction.arg, locals_, state),
+            )
+        elif isinstance(instruction, _IReturn):
+            yield EndOut(_eval(instruction.expr, locals_, state))
+        elif isinstance(instruction, _IBranchIfFalse):
+            taken = sequel.pc + 1
+            if not _eval(instruction.cond, locals_, state):
+                taken = instruction.target
+            yield StepOut(_Sequel(sequel.method, taken, sequel.locals), state)
+        elif isinstance(instruction, _IGoto):
+            yield StepOut(
+                _Sequel(sequel.method, instruction.target, sequel.locals), state
+            )
+        else:  # pragma: no cover - exhaustive by construction
+            raise CompileError(f"unknown instruction {instruction!r}")
+
+    def resume(self, sequel: Any, value: Any, state: Any):
+        if not isinstance(sequel, _AwaitSequel):
+            raise CompileError(f"resume on a non-awaiting sequel: {sequel!r}")
+        locals_ = _unpack(sequel.locals)
+        locals_[sequel.dst] = value
+        yield _Sequel(sequel.method, sequel.pc, _pack(locals_))

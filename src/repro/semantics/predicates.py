@@ -1,0 +1,87 @@
+"""The ``reachable``, ``runnable`` and ``preemptable`` predicates.
+
+Section 3.4: in a non-reentrant in-order actor system, an invocation is
+runnable iff it is the oldest enqueued on its actor. KAR generalizes this:
+
+- ``reachable(i, a, F)``: the leftmost (oldest) request targeting ``a`` is
+  reachable from ``a``; so is any request transitively nested in it, through
+  return addresses -- this is the logical actor lock plus reentrancy;
+- ``runnable(i, F)``: request ``i`` targeting ``a`` may run iff it is
+  reachable from ``a`` *and* no request in the flow has return address ``i``
+  (the happen-before condition: a retried caller waits for every callee of
+  any prior attempt);
+- ``preemptable`` (Section 3.6): a request whose caller failed, or nested in
+  one, may be preempted top-down.
+"""
+
+from __future__ import annotations
+
+from repro.semantics.state import Ensemble, Guard, Msg
+
+__all__ = ["preemptable", "reachable", "runnable"]
+
+
+def _leftmost_request_for(actor: str, flow: tuple[Msg, ...]) -> Msg | None:
+    for msg in flow:
+        if msg.kind == "req" and msg.actor == actor:
+            return msg
+    return None
+
+
+def reachable(request_id: int, actor: str, flow: tuple[Msg, ...]) -> bool:
+    """(leftmost) + (nested) of Section 3.4, by induction on return
+    addresses (chains are finite: ids strictly precede their children)."""
+    leftmost = _leftmost_request_for(actor, flow)
+    if leftmost is None:
+        return False
+    current = request_id
+    seen: set[int] = set()
+    while current is not None and current not in seen:
+        seen.add(current)
+        if current == leftmost.id:
+            return True
+        msg = _request(current, flow)
+        if msg is None:
+            return False  # (nested) requires the caller's request in F
+        current = msg.ret
+    return False
+
+
+def _request(request_id: int, flow: tuple[Msg, ...]) -> Msg | None:
+    for msg in flow:
+        if msg.kind == "req" and msg.id == request_id:
+            return msg
+    return None
+
+
+def runnable(request_id: int, flow: tuple[Msg, ...]) -> bool:
+    msg = _request(request_id, flow)
+    if msg is None:
+        return False
+    if not reachable(request_id, msg.actor, flow):
+        return False
+    for other in flow:
+        if other.kind == "req" and other.ret == request_id:
+            return False  # a callee from a prior attempt is still pending
+    return True
+
+
+def _no_guard_waiting(request_id: int, ensemble: Ensemble) -> bool:
+    for entry in ensemble:
+        if isinstance(entry.term, Guard) and entry.term.callee == request_id:
+            return False
+    return True
+
+
+def preemptable(request_id: int, flow: tuple[Msg, ...], ensemble: Ensemble) -> bool:
+    """(preemptable-root) / (preemptable-nested) of Section 3.6.
+
+    A nested request is preemptable if no process waits for its result
+    (its caller failed), or if its caller's request is itself preemptable.
+    """
+    msg = _request(request_id, flow)
+    if msg is None or msg.ret is None:
+        return False  # only nested invocations are preemptable
+    if _no_guard_waiting(request_id, ensemble):
+        return True
+    return preemptable(msg.ret, flow, ensemble)

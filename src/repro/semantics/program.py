@@ -1,0 +1,91 @@
+"""The base-language abstraction of Section 3.1.
+
+A program is specified as a set of valid transitions over terms. We expose
+that set through three enumerators (each may return several outcomes --
+the semantics is a relation, not a function):
+
+- ``begin(method, arg, state)`` -- the (begin) form ``m(v)/p -> s/p``;
+- ``outcomes(sequel, state)`` -- the (step), (end), (call), (tell) and
+  (tail-call) forms out of a sequel;
+- ``resume(sequel, value, state)`` -- the (return) form ``v > s/p -> s'/p``.
+
+Only (step) may change the actor state, matching the paper's forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Protocol
+
+__all__ = [
+    "CallOut",
+    "EndOut",
+    "Outcome",
+    "Program",
+    "StepOut",
+    "TailOut",
+    "TellOut",
+]
+
+
+@dataclass(frozen=True)
+class StepOut:
+    """``s/p -> s'/p'``"""
+
+    sequel: Any
+    state: Any
+
+
+@dataclass(frozen=True)
+class EndOut:
+    """``s/p -> v/p``"""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class CallOut:
+    """``s/p -> a.m(v) > s'/p``"""
+
+    actor: str
+    method: str
+    arg: Any
+    sequel: Any
+
+
+@dataclass(frozen=True)
+class TellOut:
+    """``s/p -> a.m(v) (tell) s'/p``"""
+
+    actor: str
+    method: str
+    arg: Any
+    sequel: Any
+
+
+@dataclass(frozen=True)
+class TailOut:
+    """``s/p -> a.m(v)/p``"""
+
+    actor: str
+    method: str
+    arg: Any
+
+
+Outcome = StepOut | EndOut | CallOut | TellOut | TailOut
+
+
+class Program(Protocol):
+    """The transition relation of a fixed but arbitrary program."""
+
+    def begin(self, method: str, arg: Any, state: Any) -> Iterable[Any]:
+        """Sequels reachable by the (begin) form from ``m(v)/p``."""
+        ...
+
+    def outcomes(self, sequel: Any, state: Any) -> Iterable[Outcome]:
+        """All transitions out of ``s/p``."""
+        ...
+
+    def resume(self, sequel: Any, value: Any, state: Any) -> Iterable[Any]:
+        """Sequels reachable by the (return) form from ``v > s/p``."""
+        ...

@@ -1,0 +1,268 @@
+"""The transition rules of Figures 3 and 4 plus the failure rule.
+
+:class:`RuleEngine.successors` enumerates every state reachable in one step,
+each labelled with the rule that produced it -- the explorer uses the labels
+to build readable counterexample traces and the figure benches to render
+timelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.semantics.predicates import preemptable, reachable, runnable
+from repro.semantics.program import (
+    CallOut,
+    EndOut,
+    StepOut,
+    TailOut,
+    TellOut,
+)
+from repro.semantics.state import Ensemble, Guard, Msg, ProcEntry, RuntimeState
+
+__all__ = ["Labelled", "RuleEngine"]
+
+
+@dataclass(frozen=True)
+class Labelled:
+    """A successor state labelled with the rule application that made it."""
+
+    rule: str
+    detail: tuple
+    state: RuntimeState
+
+
+class RuleEngine:
+    """Successor-state enumeration for a fixed program.
+
+    ``cancellation`` / ``preemption`` enable the optional rules of Figure 4
+    (the paper's implementation enables cancellation only). ``failures``
+    bounds how many failure-rule applications a path may contain; the
+    explorer threads the remaining budget.
+    """
+
+    def __init__(
+        self,
+        program: Any,
+        cancellation: bool = False,
+        preemption: bool = False,
+    ):
+        self.program = program
+        self.cancellation = cancellation
+        self.preemption = preemption
+
+    # ------------------------------------------------------------------
+    def successors(
+        self, state: RuntimeState, allow_failure: bool
+    ) -> Iterator[Labelled]:
+        yield from self._begin(state)
+        yield from self._process_steps(state)
+        yield from self._returns(state)
+        if self.cancellation:
+            yield from self._cancels(state)
+        if self.preemption:
+            yield from self._preempts(state)
+        if allow_failure:
+            yield from self._failures(state)
+
+    # ------------------------------------------------------------------
+    # (begin)
+    # ------------------------------------------------------------------
+    def _begin(self, state: RuntimeState) -> Iterator[Labelled]:
+        for msg in state.requests():
+            if msg.id in state.ensemble:
+                continue  # disjoint union: not already running
+            if not runnable(msg.id, state.flow):
+                continue
+            actor_state = state.actor_state(msg.actor)
+            for sequel in self.program.begin(msg.method, msg.value, actor_state):
+                ensemble = state.ensemble.with_entry(
+                    ProcEntry(msg.id, msg.actor, sequel)
+                )
+                yield Labelled(
+                    "begin",
+                    (msg.id, msg.actor, msg.method),
+                    RuntimeState(state.flow, ensemble, state.store, state.next_id),
+                )
+
+    # ------------------------------------------------------------------
+    # (step) (end) (call) (tell) (tail-self) (tail-other)
+    # ------------------------------------------------------------------
+    def _process_steps(self, state: RuntimeState) -> Iterator[Labelled]:
+        for entry in state.ensemble:
+            if isinstance(entry.term, Guard):
+                continue
+            actor_state = state.actor_state(entry.actor)
+            for outcome in self.program.outcomes(entry.term, actor_state):
+                if isinstance(outcome, StepOut):
+                    successor = state.with_actor_state(entry.actor, outcome.state)
+                    ensemble = successor.ensemble.with_entry(
+                        ProcEntry(entry.id, entry.actor, outcome.sequel)
+                    )
+                    yield Labelled(
+                        "step",
+                        (entry.id, entry.actor),
+                        RuntimeState(
+                            successor.flow, ensemble, successor.store,
+                            successor.next_id,
+                        ),
+                    )
+                elif isinstance(outcome, EndOut):
+                    request = state.request(entry.id)
+                    if request is None:  # pragma: no cover - begin needs it
+                        continue
+                    flow = state.remove_message(request)
+                    flow = flow + (
+                        Msg(entry.id, request.ret, "resp", value=outcome.value),
+                    )
+                    yield Labelled(
+                        "end",
+                        (entry.id, entry.actor, outcome.value),
+                        RuntimeState(
+                            flow, state.ensemble.without(entry.id), state.store,
+                            state.next_id,
+                        ),
+                    )
+                elif isinstance(outcome, CallOut):
+                    fresh = state.next_id
+                    flow = state.flow + (
+                        Msg(fresh, entry.id, "req", outcome.actor,
+                            outcome.method, outcome.arg),
+                    )
+                    ensemble = state.ensemble.with_entry(
+                        ProcEntry(entry.id, entry.actor,
+                                  Guard(fresh, outcome.sequel))
+                    )
+                    yield Labelled(
+                        "call",
+                        (entry.id, fresh, outcome.actor, outcome.method),
+                        RuntimeState(flow, ensemble, state.store, fresh + 1),
+                    )
+                elif isinstance(outcome, TellOut):
+                    fresh = state.next_id
+                    flow = state.flow + (
+                        Msg(fresh, None, "req", outcome.actor,
+                            outcome.method, outcome.arg),
+                    )
+                    ensemble = state.ensemble.with_entry(
+                        ProcEntry(entry.id, entry.actor, outcome.sequel)
+                    )
+                    yield Labelled(
+                        "tell",
+                        (entry.id, fresh, outcome.actor, outcome.method),
+                        RuntimeState(flow, ensemble, state.store, fresh + 1),
+                    )
+                elif isinstance(outcome, TailOut):
+                    request = state.request(entry.id)
+                    if request is None:  # pragma: no cover
+                        continue
+                    replacement = Msg(
+                        entry.id, request.ret, "req", outcome.actor,
+                        outcome.method, outcome.arg,
+                    )
+                    if outcome.actor == entry.actor:
+                        # (tail-self): same position -- the lock is retained.
+                        flow = state.replace_message(request, replacement)
+                        rule = "tail-self"
+                    else:
+                        # (tail-other): remove, append at the end.
+                        flow = state.remove_message(request) + (replacement,)
+                        rule = "tail-other"
+                    yield Labelled(
+                        rule,
+                        (entry.id, outcome.actor, outcome.method),
+                        RuntimeState(
+                            flow, state.ensemble.without(entry.id), state.store,
+                            state.next_id,
+                        ),
+                    )
+
+    # ------------------------------------------------------------------
+    # (return)
+    # ------------------------------------------------------------------
+    def _returns(self, state: RuntimeState) -> Iterator[Labelled]:
+        for entry in state.ensemble:
+            if not isinstance(entry.term, Guard):
+                continue
+            response = state.response(entry.term.callee)
+            if response is None:
+                continue
+            actor_state = state.actor_state(entry.actor)
+            for sequel in self.program.resume(
+                entry.term.sequel, response.value, actor_state
+            ):
+                flow = state.remove_message(response)
+                ensemble = state.ensemble.with_entry(
+                    ProcEntry(entry.id, entry.actor, sequel)
+                )
+                yield Labelled(
+                    "return",
+                    (entry.id, entry.term.callee),
+                    RuntimeState(flow, ensemble, state.store, state.next_id),
+                )
+
+    # ------------------------------------------------------------------
+    # (failure): remove all processes on one actor (singleton failures
+    # compose to arbitrary sets, so exploring singletons is complete)
+    # ------------------------------------------------------------------
+    def _failures(self, state: RuntimeState) -> Iterator[Labelled]:
+        affected = sorted({entry.actor for entry in state.ensemble})
+        for actor in affected:
+            yield Labelled(
+                "failure",
+                (actor,),
+                RuntimeState(
+                    state.flow,
+                    state.ensemble.without_actor(actor),
+                    state.store,
+                    state.next_id,
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # (cancel) -- Figure 4
+    # ------------------------------------------------------------------
+    def _cancels(self, state: RuntimeState) -> Iterator[Labelled]:
+        for msg in state.requests():
+            if msg.ret is None:
+                continue  # only nested invocations
+            if not runnable(msg.id, state.flow):
+                continue
+            if msg.id in state.ensemble:
+                continue  # already running: cancel must not interfere
+            if any(
+                isinstance(entry.term, Guard) and entry.term.callee == msg.id
+                for entry in state.ensemble
+            ):
+                continue  # someone still waits for the result
+            yield Labelled(
+                "cancel",
+                (msg.id,),
+                RuntimeState(
+                    state.remove_message(msg), state.ensemble, state.store,
+                    state.next_id,
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # (preempt) -- Figure 4
+    # ------------------------------------------------------------------
+    def _preempts(self, state: RuntimeState) -> Iterator[Labelled]:
+        for msg in state.requests():
+            if msg.ret is None:
+                continue
+            if not runnable(msg.id, state.flow):
+                continue
+            if not preemptable(msg.id, state.flow, state.ensemble):
+                continue
+            yield Labelled(
+                "preempt",
+                (msg.id,),
+                RuntimeState(
+                    state.remove_message(msg),
+                    state.ensemble.without(msg.id),
+                    state.store,
+                    state.next_id,
+                ),
+            )

@@ -1,0 +1,213 @@
+"""Runtime states of the formal semantics (Section 3.2).
+
+A runtime state is the triple ``(flow, ensemble, persistent state)``:
+
+- a *flow* is a totally ordered list of messages (requests and responses);
+- an *ensemble* maps request ids to processes tagged with actor references;
+  a process is a sequel ``s`` or a guarded sequel ``i' > s`` awaiting the
+  result of nested invocation ``i'``;
+- the *persistent state* maps actor references to actor states, with an
+  implicit empty default.
+
+Everything is immutable and hashable so the explorer can memoize states.
+Actor references, method names, and values are plain hashable Python values
+(strings / ints / tuples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+__all__ = [
+    "Ensemble",
+    "Guard",
+    "Msg",
+    "ProcEntry",
+    "RuntimeState",
+    "initial_state",
+]
+
+
+@dataclass(frozen=True)
+class Msg:
+    """A message: request ``i -r-> a.m(v)`` or response ``i -r-> v``."""
+
+    id: int
+    ret: int | None  # return address: caller's request id, None if blank
+    kind: str  # "req" | "resp"
+    actor: str | None = None  # target actor (requests only)
+    method: str | None = None
+    value: Any = None  # argument (requests) or result (responses)
+
+    def __repr__(self) -> str:
+        if self.kind == "req":
+            ret = f"<-{self.ret}" if self.ret is not None else ""
+            return f"[{self.id}{ret} {self.actor}.{self.method}({self.value!r})]"
+        return f"[{self.id} => {self.value!r}]"
+
+
+@dataclass(frozen=True)
+class Guard:
+    """A guarded sequel ``i' > s``: waiting for the response to ``callee``."""
+
+    callee: int
+    sequel: Any
+
+
+@dataclass(frozen=True)
+class ProcEntry:
+    """One ensemble entry: a process with ``id``, tagged with ``actor``."""
+
+    id: int
+    actor: str
+    term: Any  # a sequel, or a Guard
+
+
+class Ensemble:
+    """Immutable map ``request id -> ProcEntry`` (at most one per id,
+    which is exactly Theorem 3.3's shape)."""
+
+    __slots__ = ("_entries", "_hash")
+
+    def __init__(self, entries: tuple[ProcEntry, ...] = ()):
+        by_id = {}
+        for entry in entries:
+            if entry.id in by_id:
+                raise ValueError(f"duplicate process id {entry.id}")
+            by_id[entry.id] = entry
+        self._entries = tuple(sorted(by_id.values(), key=lambda e: e.id))
+        self._hash = hash(self._entries)
+
+    def with_entry(self, entry: ProcEntry) -> "Ensemble":
+        others = tuple(e for e in self._entries if e.id != entry.id)
+        return Ensemble(others + (entry,))
+
+    def without(self, process_id: int) -> "Ensemble":
+        return Ensemble(tuple(e for e in self._entries if e.id != process_id))
+
+    def without_actor(self, actor: str) -> "Ensemble":
+        """The failure rule: drop every process running on ``actor``."""
+        return Ensemble(tuple(e for e in self._entries if e.actor != actor))
+
+    def get(self, process_id: int) -> ProcEntry | None:
+        for entry in self._entries:
+            if entry.id == process_id:
+                return entry
+        return None
+
+    def __contains__(self, process_id: int) -> bool:
+        return self.get(process_id) is not None
+
+    def __iter__(self) -> Iterator[ProcEntry]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Ensemble) and self._entries == other._entries
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Ensemble({list(self._entries)!r})"
+
+
+@dataclass(frozen=True)
+class RuntimeState:
+    """``F, E, S`` plus a fresh-id counter (rule (call)'s ``i' fresh``)."""
+
+    flow: tuple[Msg, ...]
+    ensemble: Ensemble
+    store: tuple[tuple[str, Any], ...]  # sorted (actor, state) pairs
+    next_id: int
+
+    # ------------------------------------------------------------------
+    # store access (implicit empty default state, Section 3.2)
+    # ------------------------------------------------------------------
+    def actor_state(self, actor: str, default: Any = None) -> Any:
+        for name, value in self.store:
+            if name == actor:
+                return value
+        return default
+
+    def with_actor_state(self, actor: str, value: Any) -> "RuntimeState":
+        updated = tuple(
+            sorted([(n, v) for n, v in self.store if n != actor] + [(actor, value)])
+        )
+        return RuntimeState(self.flow, self.ensemble, updated, self.next_id)
+
+    # ------------------------------------------------------------------
+    # flow access
+    # ------------------------------------------------------------------
+    def request(self, request_id: int) -> Msg | None:
+        for msg in self.flow:
+            if msg.kind == "req" and msg.id == request_id:
+                return msg
+        return None
+
+    def response(self, request_id: int) -> Msg | None:
+        for msg in self.flow:
+            if msg.kind == "resp" and msg.id == request_id:
+                return msg
+        return None
+
+    def requests(self) -> list[Msg]:
+        return [msg for msg in self.flow if msg.kind == "req"]
+
+    def responses(self) -> list[Msg]:
+        return [msg for msg in self.flow if msg.kind == "resp"]
+
+    def actors(self) -> set[str]:
+        """Actors appearing anywhere (failure rule candidates)."""
+        names = {msg.actor for msg in self.flow if msg.kind == "req"}
+        names.update(entry.actor for entry in self.ensemble)
+        names.update(name for name, _ in self.store)
+        return names
+
+    # ------------------------------------------------------------------
+    # flow surgery used by the rules
+    # ------------------------------------------------------------------
+    def remove_message(self, target: Msg) -> tuple[Msg, ...]:
+        removed = False
+        out = []
+        for msg in self.flow:
+            if not removed and msg is target:
+                removed = True
+                continue
+            out.append(msg)
+        if not removed:
+            raise ValueError(f"message not in flow: {target!r}")
+        return tuple(out)
+
+    def replace_message(self, target: Msg, replacement: Msg) -> tuple[Msg, ...]:
+        """In-place substitution -- the (tail-self) rule keeps the message's
+        position so the logical actor lock is retained."""
+        out = []
+        replaced = False
+        for msg in self.flow:
+            if not replaced and msg is target:
+                out.append(replacement)
+                replaced = True
+            else:
+                out.append(msg)
+        if not replaced:
+            raise ValueError(f"message not in flow: {target!r}")
+        return tuple(out)
+
+    def __repr__(self) -> str:
+        return (
+            f"RuntimeState(flow={list(self.flow)!r}, ensemble={self.ensemble!r}, "
+            f"store={dict(self.store)!r})"
+        )
+
+
+def initial_state(actor: str, method: str, arg: Any = None,
+                  store: dict[str, Any] | None = None) -> RuntimeState:
+    """``{i -> a.m(v)}, (emptyset), (emptyset)`` -- the paper's initial
+    runtime state: one request with the main invocation, no return address."""
+    root = Msg(id=0, ret=None, kind="req", actor=actor, method=method, value=arg)
+    packed = tuple(sorted((store or {}).items()))
+    return RuntimeState(flow=(root,), ensemble=Ensemble(), store=packed, next_id=1)

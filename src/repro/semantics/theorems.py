@@ -1,0 +1,115 @@
+"""Monitors for Theorems 3.1-3.4, checked on every explored state.
+
+- 3.1 (retry): once a request has started running, it stays reachable from
+  its actor for as long as its request message is in the flow;
+- 3.2 (no retry after success): once a response for ``i`` has existed, no
+  process with id ``i`` ever exists again;
+- 3.3 (no concurrent retries): at most one process per request id;
+- 3.4 (happen-before): a request with a pending nested call is not runnable.
+
+3.1 and 3.2 relate different states along a path, so the explorer threads
+two monotone sets through each node: ``started`` (ids that ever had a
+process, with their actor tag) and ``responded`` (ids that ever had a
+response in the flow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.semantics.predicates import reachable, runnable
+from repro.semantics.state import RuntimeState
+
+__all__ = ["TheoremViolation", "make_monitors"]
+
+
+@dataclass
+class TheoremViolation(AssertionError):
+    """An explored state falsifies one of the paper's theorems."""
+
+    theorem: str
+    description: str
+    state: RuntimeState
+
+    def __str__(self) -> str:
+        return f"{self.theorem}: {self.description}\nstate: {self.state!r}"
+
+
+def check_retry_reachability(
+    state: RuntimeState, started: frozenset, responded: frozenset
+) -> None:
+    """Theorem 3.1, with the tag read against the request's current target.
+
+    A tail call to a *different* actor (tail-other) legitimately retargets
+    the request: the id survives, the actor changes, and the request may
+    transiently queue behind the new actor's older invocations before
+    re-beginning there. (Random-program exploration exposes this; the
+    paper's statement binds the tag to the actor the process ran on, which
+    only coincides with the request's actor until the first tail-other.)
+    The enforced invariant: once a request has begun on an actor, it stays
+    reachable from that actor for as long as it still targets it.
+    """
+    for started_id, actor in started:
+        msg = state.request(started_id)
+        if msg is None or msg.actor != actor:
+            continue  # answered, or retargeted by a tail call
+        if not reachable(started_id, actor, state.flow):
+            raise TheoremViolation(
+                "Theorem 3.1",
+                f"request {started_id} ran on {actor!r} but is no longer "
+                "reachable",
+                state,
+            )
+
+
+def check_no_retry_after_success(
+    state: RuntimeState, started: frozenset, responded: frozenset
+) -> None:
+    """Theorem 3.2."""
+    for entry in state.ensemble:
+        if entry.id in responded:
+            raise TheoremViolation(
+                "Theorem 3.2",
+                f"process {entry.id} exists although a response was emitted",
+                state,
+            )
+
+
+def check_single_process_per_id(
+    state: RuntimeState, started: frozenset, responded: frozenset
+) -> None:
+    """Theorem 3.3 (structural: the Ensemble type enforces it; verify)."""
+    seen = set()
+    for entry in state.ensemble:
+        if entry.id in seen:  # pragma: no cover - Ensemble forbids this
+            raise TheoremViolation(
+                "Theorem 3.3",
+                f"two processes share id {entry.id}",
+                state,
+            )
+        seen.add(entry.id)
+
+
+def check_happen_before(
+    state: RuntimeState, started: frozenset, responded: frozenset
+) -> None:
+    """Theorem 3.4."""
+    for msg in state.requests():
+        if msg.ret is None:
+            continue
+        if runnable(msg.ret, state.flow):
+            raise TheoremViolation(
+                "Theorem 3.4",
+                f"request {msg.ret} is runnable despite pending callee {msg.id}",
+                state,
+            )
+
+
+def make_monitors():
+    """All four theorem monitors, in the paper's order."""
+    return (
+        check_retry_reachability,
+        check_no_retry_after_success,
+        check_single_process_per_id,
+        check_happen_before,
+    )

@@ -1,0 +1,57 @@
+"""Failure domains for simulated tasks.
+
+A :class:`SimProcess` models an OS process / container / pod: killing it
+abandons every task it owns without cleanup, exactly matching the paper's
+fail-stop failure rule (Section 3.3) -- in-memory state is lost, while
+messages and persistent state (owned by separate service processes) survive.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.sim.kernel import SimTask
+
+__all__ = ["SimProcess"]
+
+
+class SimProcess:
+    """A named failure domain grouping simulated tasks."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.alive = True
+        self._tasks: set["SimTask"] = set()
+        self.kill_hooks: list = []
+
+    def adopt(self, task: "SimTask") -> None:
+        if not self.alive:
+            raise RuntimeError(f"process {self.name!r} is dead")
+        self._tasks.add(task)
+        task.completion.add_done_callback(lambda _f: self._tasks.discard(task))
+
+    def kill(self) -> None:
+        """Abrupt fail-stop: abandon all tasks, run registered kill hooks.
+
+        Kill hooks let substrates observe the failure (e.g. the paired
+        runtime process terminating with its application process, Section
+        4.1); they must not resurrect tasks.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        tasks, self._tasks = self._tasks, set()
+        for task in tasks:
+            task.kill()
+        hooks, self.kill_hooks = self.kill_hooks, []
+        for hook in hooks:
+            hook()
+
+    @property
+    def task_count(self) -> int:
+        return len(self._tasks)
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return f"SimProcess({self.name!r}, {state}, tasks={len(self._tasks)})"

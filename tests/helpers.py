@@ -1,0 +1,113 @@
+"""Shared fixtures: a fast-config application factory and sample actors."""
+
+from __future__ import annotations
+
+from repro.core import Actor, KarApplication, KarConfig, actor_proxy
+from repro.kvstore import KVStore
+from repro.sim import Kernel, Latency
+
+
+def make_app(seed: int = 0, config: KarConfig | None = None, **overrides):
+    """Build an application on a fresh kernel with fast test timings."""
+    kernel = Kernel(seed=seed)
+    cfg = config or KarConfig.fast_test()
+    if overrides:
+        cfg = cfg.with_overrides(**overrides)
+    app = KarApplication(kernel, cfg)
+    return kernel, app
+
+
+def run(kernel, coro, process=None, timeout: float | None = 300.0):
+    task = kernel.spawn(coro, process=process)
+    return kernel.run_until_complete(task, timeout=timeout)
+
+
+class Latch(Actor):
+    """The paper's introductory example (Section 2): volatile state."""
+
+    async def activate(self, ctx):
+        self.v = 0
+
+    async def set(self, ctx, v):
+        self.v = v
+
+    async def get(self, ctx):
+        return self.v
+
+
+class PersistentLatch(Actor):
+    """Section 2.1: activate restores persisted state after failures."""
+
+    async def activate(self, ctx):
+        self.v = await ctx.state.get("v", 0)
+
+    async def set(self, ctx, v):
+        self.v = v
+        await ctx.state.set("v", self.v)
+
+    async def get(self, ctx):
+        return self.v
+
+
+class Accumulator(Actor):
+    """Section 2.3: reliable increment over a get/set external store.
+
+    The tail call from ``incr`` to ``set_value`` makes the transition atomic:
+    a failure interrupts at most one of the two, and the read value is cached
+    as an invocation parameter, so the increment lands exactly once.
+    """
+
+    #: Injected by tests: the external store (a KVStore).
+    store: KVStore = None
+
+    async def get(self, ctx):
+        return await ctx.external(Accumulator.store).get("key")
+
+    async def set_value(self, ctx, value):
+        await ctx.external(Accumulator.store).set("key", value)
+        return "OK"
+
+    async def incr(self, ctx):
+        value = await ctx.external(Accumulator.store).get("key") or 0
+        return ctx.tail_call(None, "set_value", value + 1)
+
+    async def incr_unsafe(self, ctx):
+        """The paper's first incorrect variant: read+write in one method --
+        a failure between the store write and the return double-increments."""
+        client = ctx.external(Accumulator.store)
+        value = await client.get("key") or 0
+        await client.set("key", value + 1)
+        return "OK"
+
+
+class Echo(Actor):
+    async def echo(self, ctx, payload):
+        return payload
+
+    async def fail_with(self, ctx, message):
+        raise ValueError(message)
+
+
+def two_component_app(seed=0, actor_classes=(Latch,), **overrides):
+    """App with two worker components hosting all given actor types."""
+    kernel, app = make_app(seed, **overrides)
+    names = []
+    for actor_class in actor_classes:
+        names.append(app.register_actor(actor_class))
+    app.add_component("w1", tuple(names))
+    app.add_component("w2", tuple(names))
+    app.client()
+    app.settle()
+    return kernel, app
+
+
+__all__ = [
+    "Accumulator",
+    "Echo",
+    "Latch",
+    "PersistentLatch",
+    "actor_proxy",
+    "make_app",
+    "run",
+    "two_component_app",
+]

@@ -1,0 +1,151 @@
+"""Core runtime basics: calls, tells, state, errors, activation."""
+
+import pytest
+
+from repro.core import ActorMethodError, KarError, actor_proxy
+from repro.core.refs import ActorRef
+
+from helpers import Echo, Latch, PersistentLatch, run, two_component_app
+
+
+def test_call_returns_value():
+    kernel, app = two_component_app(seed=1)
+    ref = actor_proxy("Latch", "a")
+    app.run_call(ref, "set", 7)
+    assert app.run_call(ref, "get") == 7
+    kernel.check_no_crashes()
+
+
+def test_proxy_identity():
+    assert actor_proxy("Latch", "x") == actor_proxy("Latch", "x")
+    assert actor_proxy("Latch", "x") != actor_proxy("Latch", "y")
+    assert str(actor_proxy("Latch", "x")) == "Latch[x]"
+
+
+def test_distinct_instances_have_distinct_state():
+    kernel, app = two_component_app(seed=2)
+    app.run_call(actor_proxy("Latch", "a"), "set", 1)
+    app.run_call(actor_proxy("Latch", "b"), "set", 2)
+    assert app.run_call(actor_proxy("Latch", "a"), "get") == 1
+    assert app.run_call(actor_proxy("Latch", "b"), "get") == 2
+
+
+def test_activate_runs_once_per_instantiation():
+    kernel, app = two_component_app(seed=3)
+    ref = actor_proxy("Latch", "fresh")
+    assert app.run_call(ref, "get") == 0  # activate initialized v
+    app.run_call(ref, "set", 9)
+    assert app.run_call(ref, "get") == 9
+    assert app.trace.count("actor.activate", actor="Latch[fresh]") == 1
+
+
+def test_exception_propagates_to_caller():
+    kernel, app = two_component_app(seed=4, actor_classes=(Echo,))
+    ref = actor_proxy("Echo", "e")
+    with pytest.raises(ActorMethodError, match="boom"):
+        app.run_call(ref, "fail_with", "boom")
+
+
+def test_exception_does_not_poison_actor():
+    kernel, app = two_component_app(seed=5, actor_classes=(Echo,))
+    ref = actor_proxy("Echo", "e")
+    with pytest.raises(ActorMethodError):
+        app.run_call(ref, "fail_with", "boom")
+    assert app.run_call(ref, "echo", "still alive") == "still alive"
+
+
+def test_unknown_method_is_an_error_response():
+    kernel, app = two_component_app(seed=6, actor_classes=(Echo,))
+    with pytest.raises(ActorMethodError, match="no invocable method"):
+        app.run_call(actor_proxy("Echo", "e"), "nope")
+
+
+def test_unknown_actor_type_rejected_at_registration():
+    kernel, app = two_component_app(seed=7)
+    with pytest.raises(ValueError):
+        app.add_component("bad", ("Unknown",))
+
+
+def test_private_methods_not_invocable():
+    kernel, app = two_component_app(seed=8, actor_classes=(Echo,))
+    with pytest.raises(ActorMethodError):
+        app.run_call(actor_proxy("Echo", "e"), "_execute")
+    with pytest.raises(ActorMethodError):
+        app.run_call(actor_proxy("Echo", "e"), "activate")
+
+
+def test_tell_is_fire_and_forget():
+    kernel, app = two_component_app(seed=9)
+    ref = actor_proxy("Latch", "t")
+    client = app.client()
+    run(kernel, client.invoke(None, ref, "set", (5,), False), client.process)
+    kernel.run(until=kernel.now + 2.0)
+    assert app.run_call(ref, "get") == 5
+
+
+def test_tell_exception_discarded():
+    kernel, app = two_component_app(seed=10, actor_classes=(Echo,))
+    client = app.client()
+    ref = actor_proxy("Echo", "e")
+    run(kernel, client.invoke(None, ref, "fail_with", ("quiet",), False),
+        client.process)
+    kernel.run(until=kernel.now + 2.0)
+    # The error shows up in the trace but nothing crashes.
+    assert app.trace.count("invoke.error") == 1
+    kernel.check_no_crashes()
+
+
+def test_persistent_state_survives_failure():
+    kernel, app = two_component_app(seed=11, actor_classes=(PersistentLatch,))
+    ref = actor_proxy("PersistentLatch", "p")
+    app.run_call(ref, "set", 123)
+    host = next(
+        name
+        for name, comp in app.components.items()
+        if any(r == ref for r in comp._instances)
+    )
+    app.kill_component(host)
+    kernel.run(until=kernel.now + 10.0)  # detection + recovery
+    assert app.run_call(ref, "get", timeout=60.0) == 123
+
+
+def test_volatile_state_lost_on_failure():
+    kernel, app = two_component_app(seed=12)
+    ref = actor_proxy("Latch", "v")
+    app.run_call(ref, "set", 99)
+    host = next(
+        name
+        for name, comp in app.components.items()
+        if any(r == ref for r in comp._instances)
+    )
+    app.kill_component(host)
+    kernel.run(until=kernel.now + 10.0)
+    assert app.run_call(ref, "get", timeout=60.0) == 0  # re-activated fresh
+
+
+def test_actor_ref_ordering_and_hashing():
+    refs = {ActorRef("A", "1"), ActorRef("A", "1"), ActorRef("B", "1")}
+    assert len(refs) == 2
+    assert ActorRef("A", "1") < ActorRef("B", "1")
+    assert ActorRef("A", "1").stable_hash() == ActorRef("A", "1").stable_hash()
+
+
+def test_duplicate_actor_registration_rejected():
+    kernel, app = two_component_app(seed=13)
+
+    class Latch2(Latch):
+        pass
+
+    with pytest.raises(KarError):
+        app.register_actor(Latch2, name="Latch")
+
+
+def test_component_restart_requires_death():
+    kernel, app = two_component_app(seed=14)
+    with pytest.raises(ValueError):
+        app.restart_component("w1")
+    app.kill_component("w1")
+    restarted = app.restart_component("w1")
+    assert restarted.member_id == "w1#1"
+    kernel.run(until=kernel.now + 15.0)
+    assert "w1#1" in app.coordinator.members

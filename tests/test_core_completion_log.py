@@ -1,0 +1,168 @@
+"""The completion-log mode: Section 4.3's future-work alternative.
+
+With ``completion_log=True`` every call's response is written in one
+message-queue transaction both to the caller's queue and to the executing
+component's own queue. Completion evidence is then local, so reconciliation
+discards failed queues eagerly -- and completed work must still never
+re-run.
+"""
+
+import pytest
+
+from repro.core import Actor, actor_proxy
+from repro.kvstore import KVStore
+from repro.sim import Latency
+
+from helpers import Accumulator, Latch, make_app
+
+
+def build(seed, **overrides):
+    overrides.setdefault("completion_log", True)
+    kernel, app = make_app(seed, **overrides)
+    return kernel, app
+
+
+def test_basic_call_roundtrip():
+    kernel, app = build(seed=71)
+    app.register_actor(Latch)
+    app.add_component("w1", ("Latch",))
+    app.client()
+    app.settle()
+    ref = actor_proxy("Latch", "x")
+    app.run_call(ref, "set", 5)
+    assert app.run_call(ref, "get") == 5
+
+
+def test_completion_logged_in_own_queue():
+    kernel, app = build(seed=72)
+    app.register_actor(Latch)
+    app.add_component("w1", ("Latch",))
+    app.client()
+    app.settle()
+    app.run_call(actor_proxy("Latch", "x"), "set", 5)
+    member_id = app.components["w1"].member_id
+    partition = app.broker.topic(app.topic_name).partition(member_id)
+    from repro.core.envelope import Response
+
+    local_responses = [
+        record.value
+        for record in partition.unexpired(kernel.now)
+        if isinstance(record.value, Response)
+    ]
+    assert local_responses  # the completion marker landed locally
+
+
+def test_dead_queues_dropped_eagerly():
+    kernel, app = build(seed=73)
+    app.register_actor(Latch)
+    app.add_component("w1", ("Latch",))
+    app.add_component("w2", ("Latch",))
+    app.client()
+    app.settle()
+    app.run_call(actor_proxy("Latch", "x"), "set", 5)
+    member_id = app.components["w1"].member_id
+    app.kill_component("w1")
+    kernel.run(until=kernel.now + 10.0)
+    partitions = app.broker.topic(app.topic_name).partitions
+    assert member_id not in partitions  # discarded at reconciliation
+
+
+def test_retry_still_works_under_failure():
+    attempts = []
+
+    class Slow(Actor):
+        async def work(self, ctx, v):
+            attempts.append(ctx.now)
+            await ctx.sleep(4.0)
+            return v + 1
+
+    kernel, app = build(seed=74)
+    app.register_actor(Slow)
+    app.add_component("w1", ("Slow",))
+    app.add_component("w2", ("Slow",))
+    client = app.client()
+    app.settle()
+    ref = actor_proxy("Slow", "s")
+    task = kernel.spawn(
+        client.invoke(None, ref, "work", (1,), True), process=client.process
+    )
+    kernel.run(until=kernel.now + 1.0)
+    host = next(
+        name for name in ("w1", "w2")
+        if ref in app.components[name]._instances
+    )
+    app.kill_component(host)
+    assert kernel.run_until_complete(task, timeout=300.0) == 2
+    assert len(attempts) == 2
+
+
+def test_completed_work_never_rerun_despite_eager_discard():
+    """The regression scenario that motivated keeping dead queues in the
+    default mode: with the completion log, eager discard is safe."""
+    runs = []
+
+    class Effect(Actor):
+        async def apply(self, ctx, tag):
+            runs.append(tag)
+            return tag
+
+    kernel, app = build(seed=75)
+    app.register_actor(Effect)
+    app.add_component("w1", ("Effect",))
+    app.add_component("w2", ("Effect",))
+    app.client()
+    app.settle()
+    ref = actor_proxy("Effect", "e")
+    assert app.run_call(ref, "apply", "once") == "once"
+    for victim in ("w1", "w2", "w1"):
+        if app.components[victim].alive:
+            app.kill_component(victim)
+        kernel.run(until=kernel.now + 4.0)
+        app.restart_component(victim)
+        kernel.run(until=kernel.now + 4.0)
+    assert runs == ["once"]
+
+
+def test_exactly_once_increment_with_completion_log():
+    kernel, app = build(seed=76)
+    app.register_actor(Accumulator)
+    Accumulator.store = app.register_external_service(
+        KVStore(kernel, Latency.fixed(0.002))
+    )
+    app.add_component("w1", ("Accumulator",))
+    app.add_component("w2", ("Accumulator",))
+    client = app.client()
+    app.settle()
+    ref = actor_proxy("Accumulator", "acc")
+    app.run_call(ref, "set_value", 0)
+    task = kernel.spawn(
+        client.invoke(None, ref, "incr", (), True), process=client.process
+    )
+    kernel.run(until=kernel.now + 0.2)
+    host = next(
+        (name for name in ("w1", "w2")
+         if ref in app.components[name]._instances),
+        None,
+    )
+    if host:
+        app.kill_component(host)
+    assert kernel.run_until_complete(task, timeout=300.0) == "OK"
+    assert app.run_call(ref, "get") == 1
+
+
+def test_message_overhead_of_completion_log():
+    """The transaction writes one extra record per call -- the cost side
+    of the trade (the benefit: eager queue cleanup)."""
+
+    def count_messages(completion_log):
+        kernel, app = make_app(seed=77, completion_log=completion_log)
+        app.register_actor(Latch)
+        app.add_component("w1", ("Latch",))
+        app.client()
+        app.settle()
+        before = app.broker.produce_count
+        for _ in range(10):
+            app.run_call(actor_proxy("Latch", "x"), "get")
+        return app.broker.produce_count - before
+
+    assert count_messages(True) == count_messages(False) + 10

@@ -1,0 +1,104 @@
+"""Unit tests for the per-actor mailbox (locking and reentrancy rules)."""
+
+from repro.core import ActorMailbox
+from repro.core.envelope import Request
+from repro.core.refs import ActorRef
+
+REF = ActorRef("T", "x")
+
+
+def request(request_id, ancestors=(), step=0, tail_lock=False):
+    return Request(
+        request_id=request_id,
+        step=step,
+        actor=REF,
+        method="m",
+        args=(),
+        return_address=None,
+        reply_to=None,
+        caller_actor=None,
+        caller_member=None,
+        ancestors=tuple(ancestors),
+        tail_lock=tail_lock,
+    )
+
+
+def test_idle_mailbox_admits_immediately():
+    mailbox = ActorMailbox()
+    assert mailbox.try_admit(request("r1"))
+    assert mailbox.lock_root == "r1"
+
+
+def test_second_request_queues():
+    mailbox = ActorMailbox()
+    assert mailbox.try_admit(request("r1"))
+    assert not mailbox.try_admit(request("r2"))
+    assert len(mailbox.pending) == 1
+
+
+def test_reentrant_request_bypasses_queue():
+    mailbox = ActorMailbox()
+    assert mailbox.try_admit(request("r1"))
+    # r3 is nested in r1 (through some other actor's r2).
+    assert mailbox.try_admit(request("r3", ancestors=("r1", "r2")))
+    assert mailbox.stack == {"r1", "r3"}
+
+
+def test_unrelated_nested_request_queues():
+    mailbox = ActorMailbox()
+    assert mailbox.try_admit(request("r1"))
+    assert not mailbox.try_admit(request("r9", ancestors=("r7", "r8")))
+
+
+def test_same_id_readmitted_for_tail_to_self():
+    mailbox = ActorMailbox()
+    assert mailbox.try_admit(request("r1"))
+    successor = mailbox.complete_frame(request("r1"), tail_to_self=True)
+    assert successor is None  # lock retained
+    assert mailbox.lock_root == "r1"
+    assert mailbox.try_admit(request("r1", step=1, tail_lock=True))
+
+
+def test_tail_to_self_blocks_queued_requests():
+    mailbox = ActorMailbox()
+    assert mailbox.try_admit(request("r1"))
+    assert not mailbox.try_admit(request("r2"))
+    mailbox.complete_frame(request("r1"), tail_to_self=True)
+    # The queued r2 must not run; the lock is reserved for r1's successor.
+    assert mailbox.lock_root == "r1"
+    assert mailbox.try_admit(request("r1", step=1, tail_lock=True))
+    successor = mailbox.complete_frame(request("r1", step=1), tail_to_self=False)
+    assert successor is not None and successor.request_id == "r2"
+
+
+def test_completion_releases_lock_to_next_in_order():
+    mailbox = ActorMailbox()
+    mailbox.try_admit(request("r1"))
+    mailbox.try_admit(request("r2"))
+    mailbox.try_admit(request("r3"))
+    successor = mailbox.complete_frame(request("r1"), tail_to_self=False)
+    assert successor.request_id == "r2"
+    successor = mailbox.complete_frame(request("r2"), tail_to_self=False)
+    assert successor.request_id == "r3"
+    assert mailbox.complete_frame(request("r3"), tail_to_self=False) is None
+    assert mailbox.idle
+
+
+def test_reentrant_frame_completion_keeps_root_lock():
+    mailbox = ActorMailbox()
+    mailbox.try_admit(request("r1"))
+    mailbox.try_admit(request("r3", ancestors=("r1",)))
+    mailbox.try_admit(request("r4"))
+    assert mailbox.complete_frame(
+        request("r3", ancestors=("r1",)), tail_to_self=False
+    ) is None
+    assert mailbox.lock_root == "r1"
+    successor = mailbox.complete_frame(request("r1"), tail_to_self=False)
+    assert successor.request_id == "r4"
+
+
+def test_idle_property():
+    mailbox = ActorMailbox()
+    assert mailbox.idle
+    mailbox.try_admit(request("r1"))
+    assert not mailbox.idle

@@ -1,0 +1,136 @@
+"""Placement: CAS coordination, caching, invalidation, re-placement."""
+
+import pytest
+
+from repro.core import PlacementService, actor_proxy
+from repro.core.placement import placement_key
+from repro.kvstore import KVStore
+from repro.sim import Kernel, Latency
+
+from helpers import Latch, make_app, two_component_app
+
+
+def run(kernel, coro):
+    return kernel.run_until_complete(kernel.spawn(coro), timeout=60.0)
+
+
+def test_resolve_is_deterministic_and_sticky():
+    kernel = Kernel(seed=1)
+    store = KVStore(kernel, Latency.fixed(0.001))
+    service = PlacementService(store.client("a"))
+    ref = actor_proxy("T", "x")
+
+    async def scenario():
+        first = await service.resolve(ref, ["c1", "c2", "c3"])
+        second = await service.resolve(ref, ["c1", "c2", "c3"])
+        return first, second
+
+    first, second = run(kernel, scenario())
+    assert first == second
+
+
+def test_concurrent_resolvers_agree():
+    kernel = Kernel(seed=2)
+    store = KVStore(kernel, Latency.fixed(0.001))
+    ref = actor_proxy("T", "x")
+    services = [PlacementService(store.client(f"c{i}")) for i in range(4)]
+
+    async def resolver(service):
+        return await service.resolve(ref, ["c1", "c2"])
+
+    tasks = [kernel.spawn(resolver(s)) for s in services]
+    results = kernel.run_until_complete(kernel.gather(tasks), timeout=60.0)
+    assert len(set(results)) == 1
+
+
+def test_cache_skips_store_reads():
+    kernel = Kernel(seed=3)
+    store = KVStore(kernel, Latency.fixed(0.001))
+    service = PlacementService(store.client("a"), cache_enabled=True)
+    ref = actor_proxy("T", "x")
+    run(kernel, service.resolve(ref, ["c1"]))
+    before = store.operation_count
+    run(kernel, service.resolve(ref, ["c1"]))
+    assert store.operation_count == before  # pure cache hit
+
+
+def test_no_cache_reads_store_every_time():
+    kernel = Kernel(seed=4)
+    store = KVStore(kernel, Latency.fixed(0.001))
+    service = PlacementService(store.client("a"), cache_enabled=False)
+    ref = actor_proxy("T", "x")
+    run(kernel, service.resolve(ref, ["c1"]))
+    before = store.operation_count
+    run(kernel, service.resolve(ref, ["c1"]))
+    assert store.operation_count > before
+
+
+def test_invalidation_forces_replacement():
+    kernel = Kernel(seed=5)
+    store = KVStore(kernel, Latency.fixed(0.001))
+    service = PlacementService(store.client("a"))
+    ref = actor_proxy("T", "x")
+    placed = run(kernel, service.resolve(ref, ["dead", "alive"]))
+    if placed == "alive":
+        pytest.skip("hash landed on the survivor; nothing to invalidate")
+    service.invalidate_components({placed})
+    moved = run(kernel, service.resolve(ref, ["alive"]))
+    assert moved == "alive"
+
+
+def test_resolve_rejects_empty_candidates():
+    kernel = Kernel(seed=6)
+    store = KVStore(kernel, Latency.fixed(0.001))
+    service = PlacementService(store.client("a"))
+
+    from repro.core import NoPlacementError
+
+    async def scenario():
+        with pytest.raises(NoPlacementError):
+            await service.resolve(actor_proxy("T", "x"), [])
+
+    run(kernel, scenario())
+
+
+def test_actor_lands_on_supporting_component_only():
+    kernel, app = make_app(seed=7)
+    app.register_actor(Latch)
+
+    class Other(Latch):
+        pass
+
+    app.register_actor(Other, name="Other")
+    app.add_component("latches", ("Latch",))
+    app.add_component("others", ("Other",))
+    app.client()
+    app.settle()
+    app.run_call(actor_proxy("Latch", "a"), "set", 1)
+    app.run_call(actor_proxy("Other", "b"), "set", 2)
+    assert actor_proxy("Latch", "a") in app.components["latches"]._instances
+    assert actor_proxy("Other", "b") in app.components["others"]._instances
+
+
+def test_placement_store_updated_after_failure():
+    kernel, app = two_component_app(seed=8)
+    ref = actor_proxy("Latch", "x")
+    app.run_call(ref, "set", 3)
+    host = next(
+        name
+        for name, comp in app.components.items()
+        if comp.alive and ref in comp._instances
+    )
+    app.kill_component(host)
+    kernel.run(until=kernel.now + 10.0)
+    assert app.run_call(ref, "get", timeout=60.0) == 0  # rehomed, volatile
+    placed = app.store._get(placement_key(ref))
+    assert placed != host
+
+
+def test_replicas_share_load():
+    kernel, app = two_component_app(seed=9)
+    for i in range(20):
+        app.run_call(actor_proxy("Latch", f"i{i}"), "set", i)
+    w1 = len(app.components["w1"]._instances)
+    w2 = len(app.components["w2"]._instances)
+    assert w1 + w2 == 20
+    assert w1 > 0 and w2 > 0  # crc32 spreads across replicas

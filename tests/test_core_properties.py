@@ -1,0 +1,125 @@
+"""Property-based tests: the runtime's guarantees under random failures.
+
+The central property mirrors the paper's exactly-once claim: a counter
+incremented through tail-call chains ends exactly at the number of
+successful increments, no matter when components die, as long as every
+increment's root call eventually completes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Actor, actor_proxy
+from repro.kvstore import KVStore
+from repro.sim import Latency
+
+from helpers import Accumulator, make_app
+
+
+def accumulator_app(seed):
+    kernel, app = make_app(seed)
+    app.register_actor(Accumulator)
+    Accumulator.store = app.register_external_service(
+        KVStore(kernel, Latency.fixed(0.002))
+    )
+    app.add_component("w1", ("Accumulator",))
+    app.add_component("w2", ("Accumulator",))
+    app.client()
+    app.settle()
+    return kernel, app
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    kill_delays=st.lists(
+        st.floats(min_value=0.05, max_value=3.0), min_size=1, max_size=3
+    ),
+    increments=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=20, deadline=None)
+def test_exactly_once_increments_under_random_failures(
+    seed, kill_delays, increments
+):
+    kernel, app = accumulator_app(seed)
+    ref = actor_proxy("Accumulator", "acc")
+    app.run_call(ref, "set_value", 0)
+    client = app.client()
+    tasks = [
+        kernel.spawn(
+            client.invoke(None, ref, "incr", (), True), process=client.process
+        )
+        for _ in range(increments)
+    ]
+    alive = {"w1", "w2"}
+    for delay in kill_delays:
+        kernel.run(until=kernel.now + delay)
+        victim = kernel.rng.choice(sorted(alive))
+        app.kill_component(victim)
+        app.restart_component(victim)
+    results = kernel.run_until_complete(kernel.gather(tasks), timeout=600.0)
+    assert results == ["OK"] * increments
+    assert app.run_call(ref, "get", timeout=120.0) == increments
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_single_execution_per_request_attempt(seed):
+    """Theorem 3.3 at the runtime level: for every (request id, step),
+    execution intervals never overlap, across arbitrary single failures."""
+    executions = []
+
+    class Tracked(Actor):
+        async def work(self, ctx, tag):
+            start = ctx.now
+            await ctx.sleep(1.0)
+            executions.append((ctx.request_id, start, ctx.now))
+            return tag
+
+    kernel, app = make_app(seed)
+    app.register_actor(Tracked)
+    app.add_component("w1", ("Tracked",))
+    app.add_component("w2", ("Tracked",))
+    client = app.client()
+    app.settle()
+    tasks = [
+        kernel.spawn(
+            client.invoke(
+                None, actor_proxy("Tracked", f"t{i}"), "work", (i,), True
+            ),
+            process=client.process,
+        )
+        for i in range(3)
+    ]
+    kernel.run(until=kernel.now + 0.5)
+    victim = kernel.rng.choice(["w1", "w2"])
+    app.kill_component(victim)
+    app.restart_component(victim)
+    kernel.run_until_complete(kernel.gather(tasks), timeout=600.0)
+
+    by_request = {}
+    for request_id, start, end in executions:
+        by_request.setdefault(request_id, []).append((start, end))
+    for request_id, intervals in by_request.items():
+        intervals.sort()
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert e1 <= s2, f"overlapping executions of {request_id}"
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    values=st.lists(st.integers(), min_size=1, max_size=5),
+)
+@settings(max_examples=10, deadline=None)
+def test_calls_linearize_on_one_actor(seed, values):
+    """Sequential client calls on a single actor observe program order."""
+    from helpers import PersistentLatch
+
+    kernel, app = make_app(seed)
+    app.register_actor(PersistentLatch)
+    app.add_component("w1", ("PersistentLatch",))
+    app.client()
+    app.settle()
+    ref = actor_proxy("PersistentLatch", "p")
+    for value in values:
+        app.run_call(ref, "set", value)
+        assert app.run_call(ref, "get") == value

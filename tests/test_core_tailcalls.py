@@ -1,0 +1,177 @@
+"""Tail calls: atomic complete+issue, lock retention, chain results."""
+
+from repro.core import Actor, actor_proxy
+from repro.kvstore import KVStore
+from repro.sim import Latency
+
+from helpers import Accumulator, make_app, run, two_component_app
+
+
+def accumulator_app(seed=0, **overrides):
+    kernel, app = make_app(seed, **overrides)
+    app.register_actor(Accumulator)
+    Accumulator.store = app.register_external_service(
+        KVStore(kernel, Latency.fixed(0.001))
+    )
+    app.add_component("w1", ("Accumulator",))
+    app.add_component("w2", ("Accumulator",))
+    app.client()
+    app.settle()
+    return kernel, app
+
+
+def test_tail_call_chain_returns_last_value():
+    kernel, app = accumulator_app(seed=1)
+    ref = actor_proxy("Accumulator", "acc")
+    assert app.run_call(ref, "incr") == "OK"  # result of set_value
+    assert app.run_call(ref, "get") == 1
+
+
+def test_sequential_increments():
+    kernel, app = accumulator_app(seed=2)
+    ref = actor_proxy("Accumulator", "acc")
+    for expected in range(1, 6):
+        app.run_call(ref, "incr")
+        assert app.run_call(ref, "get") == expected
+
+
+def test_concurrent_increments_are_serialized():
+    """Tail-call-to-self retains the actor lock, so concurrent incr calls
+    from different callers can never interleave their get/set pairs
+    (Section 2.3)."""
+    kernel, app = accumulator_app(seed=3)
+    ref = actor_proxy("Accumulator", "acc")
+    client = app.client()
+    tasks = [
+        kernel.spawn(
+            client.invoke(None, ref, "incr", (), True), process=client.process
+        )
+        for _ in range(10)
+    ]
+    results = kernel.run_until_complete(kernel.gather(tasks), timeout=120.0)
+    assert results == ["OK"] * 10
+    assert app.run_call(ref, "get") == 10
+
+
+def test_lock_retained_no_interleaving_in_trace():
+    """Between incr's invoke.start and its set_value's invoke.end, no other
+    request may start on the same actor."""
+    kernel, app = accumulator_app(seed=4)
+    ref = actor_proxy("Accumulator", "acc")
+    client = app.client()
+    tasks = [
+        kernel.spawn(
+            client.invoke(None, ref, "incr", (), True), process=client.process
+        )
+        for _ in range(5)
+    ]
+    kernel.run_until_complete(kernel.gather(tasks), timeout=120.0)
+    events = [
+        event
+        for event in app.trace.of_kind("invoke.start", "invoke.end")
+        if event.get("actor") == "Accumulator[acc]"
+        and event.get("method") in ("incr", "set_value")
+    ]
+    open_chain = None
+    for event in events:
+        if event.kind == "invoke.start":
+            if event["method"] == "incr":
+                assert open_chain is None, "incr started while chain open"
+                open_chain = event["request"]
+            else:
+                assert event["request"] == open_chain, "foreign set_value in chain"
+        elif event.kind == "invoke.end" and event["method"] == "set_value":
+            assert event["request"] == open_chain
+            open_chain = None
+
+
+def test_tail_call_to_other_actor():
+    class Front(Actor):
+        async def relay(self, ctx, value):
+            return ctx.tail_call(actor_proxy("Back", "b"), "finish", value)
+
+    class Back(Actor):
+        async def finish(self, ctx, value):
+            return value * 10
+
+    kernel, app = make_app(seed=5)
+    app.register_actor(Front)
+    app.register_actor(Back)
+    app.add_component("w1", ("Front",))
+    app.add_component("w2", ("Back",))
+    app.client()
+    app.settle()
+    assert app.run_call(actor_proxy("Front", "f"), "relay", 4) == 40
+
+
+def test_tail_call_releases_lock_when_target_differs():
+    """A tail call to a different actor releases the caller's lock: a queued
+    invocation on the caller runs while the chain continues elsewhere."""
+    order = []
+
+    class Front(Actor):
+        async def chain(self, ctx):
+            order.append("chain")
+            return ctx.tail_call(actor_proxy("Back", "b"), "slow")
+
+        async def quick(self, ctx):
+            order.append("quick")
+            return "done"
+
+    class Back(Actor):
+        async def slow(self, ctx):
+            await ctx.sleep(2.0)
+            order.append("slow-done")
+            return "slow"
+
+    kernel, app = make_app(seed=6)
+    app.register_actor(Front)
+    app.register_actor(Back)
+    app.add_component("w1", ("Front", "Back"))
+    app.client()
+    app.settle()
+    client = app.client()
+    front = actor_proxy("Front", "f")
+    chain_task = kernel.spawn(
+        client.invoke(None, front, "chain", (), True), process=client.process
+    )
+    quick_task = kernel.spawn(
+        client.invoke(None, front, "quick", (), True), process=client.process
+    )
+    kernel.run_until_complete(kernel.gather([chain_task, quick_task]), timeout=60.0)
+    assert order == ["chain", "quick", "slow-done"]
+
+
+def test_chained_tail_calls_three_links():
+    class Steps(Actor):
+        async def one(self, ctx):
+            return ctx.tail_call(None, "two", "a")
+
+        async def two(self, ctx, acc):
+            return ctx.tail_call(None, "three", acc + "b")
+
+        async def three(self, ctx, acc):
+            return acc + "c"
+
+    kernel, app = make_app(seed=7)
+    app.register_actor(Steps)
+    app.add_component("w1", ("Steps",))
+    app.client()
+    app.settle()
+    assert app.run_call(actor_proxy("Steps", "s"), "one") == "abc"
+
+
+def test_single_response_per_chain():
+    kernel, app = accumulator_app(seed=8)
+    ref = actor_proxy("Accumulator", "acc")
+    app.run_call(ref, "incr")
+    # One request id spans the chain; exactly one response for it.
+    sent = app.trace.of_kind("response.sent")
+    chain_starts = [
+        event
+        for event in app.trace.of_kind("invoke.start")
+        if event["method"] == "incr"
+    ]
+    assert len(chain_starts) == 1
+    chain_id = chain_starts[0]["request"]
+    assert sum(1 for event in sent if event["request"] == chain_id) == 1

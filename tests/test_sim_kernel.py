@@ -1,0 +1,251 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import Kernel, SimProcess, TaskKilled
+
+
+def test_time_starts_at_zero():
+    kernel = Kernel()
+    assert kernel.now == 0.0
+
+
+def test_schedule_runs_in_time_order():
+    kernel = Kernel()
+    seen = []
+    kernel.schedule(2.0, seen.append, "b")
+    kernel.schedule(1.0, seen.append, "a")
+    kernel.schedule(3.0, seen.append, "c")
+    kernel.run()
+    assert seen == ["a", "b", "c"]
+    assert kernel.now == 3.0
+
+
+def test_same_time_events_run_in_schedule_order():
+    kernel = Kernel()
+    seen = []
+    for label in ("first", "second", "third"):
+        kernel.schedule(1.0, seen.append, label)
+    kernel.run()
+    assert seen == ["first", "second", "third"]
+
+
+def test_run_until_stops_at_bound():
+    kernel = Kernel()
+    seen = []
+    kernel.schedule(1.0, seen.append, "early")
+    kernel.schedule(5.0, seen.append, "late")
+    kernel.run(until=2.0)
+    assert seen == ["early"]
+    assert kernel.now == 2.0
+    kernel.run()
+    assert seen == ["early", "late"]
+
+
+def test_timer_cancel():
+    kernel = Kernel()
+    seen = []
+    timer = kernel.schedule(1.0, seen.append, "x")
+    timer.cancel()
+    kernel.run()
+    assert seen == []
+
+
+def test_negative_delay_rejected():
+    kernel = Kernel()
+    with pytest.raises(ValueError):
+        kernel.schedule(-0.1, lambda: None)
+
+
+def test_sleep_advances_time():
+    kernel = Kernel()
+
+    async def napper():
+        await kernel.sleep(1.5)
+        return kernel.now
+
+    task = kernel.spawn(napper())
+    assert kernel.run_until_complete(task) == 1.5
+
+
+def test_task_return_value():
+    kernel = Kernel()
+
+    async def work():
+        return 42
+
+    assert kernel.run_until_complete(kernel.spawn(work())) == 42
+
+
+def test_task_exception_propagates_to_awaiter():
+    kernel = Kernel()
+
+    async def boom():
+        raise ValueError("broken")
+
+    async def waiter():
+        try:
+            await kernel.spawn(boom())
+        except ValueError as error:
+            return str(error)
+        return "no error"
+
+    assert kernel.run_until_complete(kernel.spawn(waiter())) == "broken"
+
+
+def test_unawaited_task_exception_recorded_as_crash():
+    kernel = Kernel()
+
+    async def boom():
+        raise RuntimeError("lost")
+
+    kernel.spawn(boom())
+    kernel.run()
+    assert len(kernel.crashes) == 1
+    with pytest.raises(RuntimeError):
+        kernel.check_no_crashes()
+
+
+def test_future_resolution_wakes_task():
+    kernel = Kernel()
+    future = kernel.create_future()
+
+    async def waiter():
+        return await future
+
+    task = kernel.spawn(waiter())
+    kernel.schedule(3.0, future.set_result, "done")
+    assert kernel.run_until_complete(task) == "done"
+    assert kernel.now == 3.0
+
+
+def test_future_double_resolution_rejected():
+    kernel = Kernel()
+    future = kernel.create_future()
+    future.set_result(1)
+    with pytest.raises(RuntimeError):
+        future.set_result(2)
+
+
+def test_future_exception_raises_in_awaiter():
+    kernel = Kernel()
+    future = kernel.create_future()
+
+    async def waiter():
+        with pytest.raises(KeyError):
+            await future
+        return "handled"
+
+    task = kernel.spawn(waiter())
+    kernel.call_soon(future.set_exception, KeyError("k"))
+    assert kernel.run_until_complete(task) == "handled"
+
+
+def test_gather_collects_in_order():
+    kernel = Kernel()
+
+    async def delayed(value, delay):
+        await kernel.sleep(delay)
+        return value
+
+    tasks = [kernel.spawn(delayed(i, 3.0 - i)) for i in range(3)]
+    result = kernel.run_until_complete(kernel.gather(tasks))
+    assert result == [0, 1, 2]
+
+
+def test_gather_empty():
+    kernel = Kernel()
+    assert kernel.run_until_complete(kernel.gather([])) == []
+
+
+def test_process_kill_abandons_tasks():
+    kernel = Kernel()
+    process = SimProcess("victim")
+    progress = []
+
+    async def worker():
+        progress.append("started")
+        await kernel.sleep(10.0)
+        progress.append("finished")
+
+    kernel.spawn(worker(), process=process)
+    kernel.run(until=1.0)
+    assert progress == ["started"]
+    process.kill()
+    kernel.run()
+    assert progress == ["started"]
+    assert not process.alive
+
+
+def test_killed_task_raises_in_awaiter():
+    kernel = Kernel()
+    process = SimProcess("victim")
+
+    async def worker():
+        await kernel.sleep(10.0)
+
+    async def observer():
+        task = kernel.spawn(worker(), process=process)
+        kernel.schedule(1.0, process.kill)
+        with pytest.raises(TaskKilled):
+            await task
+        return "observed"
+
+    assert kernel.run_until_complete(kernel.spawn(observer())) == "observed"
+
+
+def test_spawn_on_dead_process_is_killed_immediately():
+    kernel = Kernel()
+    process = SimProcess("gone")
+    process.kill()
+
+    async def worker():
+        return 1
+
+    task = kernel.spawn(worker(), process=process)
+    kernel.run()
+    assert task.done()
+    assert isinstance(task.completion.exception(), TaskKilled)
+
+
+def test_kill_hooks_run_once():
+    kernel = Kernel()
+    process = SimProcess("p")
+    calls = []
+    process.kill_hooks.append(lambda: calls.append("hook"))
+    process.kill()
+    process.kill()
+    assert calls == ["hook"]
+
+
+def test_determinism_same_seed_same_trace():
+    def run(seed):
+        kernel = Kernel(seed=seed)
+        samples = []
+
+        async def worker():
+            for _ in range(5):
+                delay = kernel.rng.uniform(0.1, 1.0)
+                await kernel.sleep(delay)
+                samples.append(round(kernel.now, 9))
+
+        kernel.run_until_complete(kernel.spawn(worker()))
+        return samples
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)
+
+
+def test_run_until_complete_timeout():
+    kernel = Kernel()
+    future = kernel.create_future()
+    kernel.schedule(100.0, future.set_result, None)
+    with pytest.raises(TimeoutError):
+        kernel.run_until_complete(future, timeout=1.0)
+
+
+def test_event_loop_drained_error():
+    kernel = Kernel()
+    future = kernel.create_future()
+    with pytest.raises(RuntimeError):
+        kernel.run_until_complete(future)
