@@ -28,8 +28,9 @@ from repro.core.errors import (
 from repro.core.placement import PlacementService
 from repro.core.refs import ActorRef, actor_proxy
 from repro.core.reminders import ReminderAPI
+from repro.core.retention import RetentionSet
 from repro.core.runtime import Component
-from repro.core.state import ActorStateAPI
+from repro.core.state import ActorStateAPI, ActorStateCache
 
 __all__ = [
     "Actor",
@@ -39,6 +40,7 @@ __all__ = [
     "ActorRef",
     "ActorRegistry",
     "ActorStateAPI",
+    "ActorStateCache",
     "Component",
     "InvocationCancelled",
     "KarApplication",
@@ -48,6 +50,7 @@ __all__ = [
     "PlacementService",
     "ReminderAPI",
     "Request",
+    "RetentionSet",
     "Response",
     "TailCall",
     "actor_proxy",

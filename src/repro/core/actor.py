@@ -16,8 +16,12 @@ invocation context as their first argument:
             return self.v
 
 ``activate`` plays the role of a constructor and is implicitly invoked at
-(re)instantiation time (Section 2); ``deactivate`` is optional. In-memory
-attributes are lost on failure; persist what matters via ``ctx.state``.
+(re)instantiation time (Section 2); ``deactivate`` is optional and is
+invoked when the runtime *passivates* an instance that has been idle past
+``KarConfig.idle_passivation_timeout`` -- flush any in-memory state there,
+because the instance object is discarded afterwards and the next request
+re-activates a fresh one from persisted state. In-memory attributes are
+likewise lost on failure; persist what matters via ``ctx.state``.
 """
 
 from __future__ import annotations
@@ -47,7 +51,10 @@ class Actor:
         restore persisted state here (Section 2.1)."""
 
     async def deactivate(self, ctx: "ActorContext") -> None:
-        """Called when the runtime passivates the instance."""
+        """Called when the runtime passivates the instance (idle past the
+        configured timeout). Flush volatile state via ``ctx.state`` here;
+        the instance and its mailbox are evicted once this returns, and
+        the next request transparently re-activates the actor."""
 
 
 class ActorRegistry:

@@ -52,6 +52,27 @@ class KarConfig:
     reconcile_per_message: float = 0.002
     reconcile_per_copy: float = 0.01
 
+    # --- actor lifecycle & memory management --------------------------------
+    # Idle passivation (virtual-actor style): an instance whose mailbox has
+    # been idle for this long is deactivated (``Actor.deactivate`` hook) and
+    # evicted along with its mailbox; the next request transparently
+    # re-activates it from persisted state. ``None`` disables passivation
+    # (every activated instance stays resident forever).
+    idle_passivation_timeout: float | None = None
+    # Cadence of the per-component maintenance task that sweeps idle actors
+    # and expired dedup evidence.
+    maintenance_interval: float = 5.0
+    # Extra slack added to the broker retention horizon before dedup
+    # evidence (settled response ids, handled request keys) is dropped.
+    # Covers delivery lag across group pauses: a record is stamped when it
+    # is *consumed*, which can trail its append by a reconciliation.
+    dedup_retention_slack: float = 30.0
+    # Write-through cache of each resident instance's persisted state.
+    # Safe because an actor's state is only written through its hosting
+    # component while placed there (single writer); the cache is dropped on
+    # passivation and dies with the component on failure.
+    state_cache: bool = True
+
     # --- reminders -----------------------------------------------------------
     reminder_tick: float = 0.5
 
@@ -78,4 +99,6 @@ class KarConfig:
             reconcile_per_message=0.0001,
             reconcile_per_copy=0.0005,
             reminder_tick=0.1,
+            maintenance_interval=0.5,
+            dedup_retention_slack=5.0,
         )

@@ -87,12 +87,33 @@ class ActorContext:
     # ------------------------------------------------------------------
     @property
     def state(self) -> ActorStateAPI:
-        """Persisted state of the current actor instance (``actor.state``)."""
-        return ActorStateAPI(self._component.store_client, self.self_ref)
+        """Persisted state of the current actor instance (``actor.state``).
+
+        Backed by the hosting component's write-through cache for this
+        instance: repeat reads of hot fields cost no store round trip, and
+        multi-field writes batch into one.
+        """
+        return ActorStateAPI(
+            self._component.store_client,
+            self.self_ref,
+            self._component.state_cache_for(self.self_ref),
+        )
 
     def state_of(self, ref: ActorRef) -> ActorStateAPI:
-        """State API for another instance (used by activate helpers/tests)."""
-        return ActorStateAPI(self._component.store_client, ref)
+        """State API for another instance (used by activate helpers/tests).
+
+        If ``ref`` is resident on *this* component, the view shares that
+        instance's write-through cache so writes stay coherent with it.
+        For actors hosted elsewhere the view is uncached and direct;
+        writing another component's actor state bypasses its actor lock
+        (and its hosting component's cache) -- prefer invoking a method on
+        it instead.
+        """
+        return ActorStateAPI(
+            self._component.store_client,
+            ref,
+            self._component.existing_state_cache(ref),
+        )
 
     @property
     def reminders(self):

@@ -70,6 +70,10 @@ class ActorMailbox:
             return None  # lock retained for the tail call's arrival
         if self.stack:
             return None  # outer frames of the chain still open
+        return self._release_lock()
+
+    def _release_lock(self) -> Request | None:
+        """Free the lock, handing it to the next queued request if any."""
         self.lock_root = None
         if not self.pending:
             return None
@@ -81,3 +85,26 @@ class ActorMailbox:
     @property
     def idle(self) -> bool:
         return self.lock_root is None and not self.pending
+
+    # ------------------------------------------------------------------
+    # passivation (idle-actor eviction)
+    # ------------------------------------------------------------------
+    def begin_passivation(self, token: str) -> bool:
+        """Acquire the actor lock for passivation; fails unless idle.
+
+        Holding the lock with a token no request can ever match means any
+        request arriving mid-deactivate waits in ``pending`` (admission
+        rule 4) instead of racing the teardown.
+        """
+        if not self.idle:
+            return False
+        self.lock_root = token
+        self.stack.add(token)
+        return True
+
+    def end_passivation(self, token: str) -> Request | None:
+        """Release the passivation lock; returns the request to run next,
+        if any arrived while the instance was being deactivated (it will
+        transparently re-activate the actor)."""
+        self.stack.discard(token)
+        return self._release_lock()

@@ -1,0 +1,84 @@
+"""Retention-clocked completion evidence (bounded dedup bookkeeping).
+
+The runtime keeps two pieces of per-component evidence: settled response
+ids (releases parked retries, rejects late duplicate responses) and handled
+request dedup keys (rejects duplicate reconciliation copies). The paper's
+retention rule (Section 4.1/4.3) bounds how long this evidence matters: a
+duplicate can only be manufactured by copying an *unexpired* broker record,
+so dedup evidence only needs to outlive the unexpired messages that could
+duplicate it. Keeping it forever -- as a plain ``set`` would -- makes the
+reliability machinery itself an unbounded memory leak on a long-running
+component, the failure mode RetryGuard warns about.
+
+:class:`RetentionSet` therefore stamps every key with the simulated time it
+was last observed and garbage-collects keys whose stamp has fallen behind
+the broker's retention horizon. Observing a key again refreshes its stamp
+(a re-copied record restarts the duplication window). Stamps are monotone
+(simulated time never goes backwards), so entries are kept in stamp order
+and a sweep only touches the expired prefix.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Hashable, Iterator
+
+__all__ = ["RetentionSet"]
+
+
+class RetentionSet:
+    """A set whose members expire once their last observation is older than
+    a caller-supplied cutoff (the broker retention horizon)."""
+
+    __slots__ = ("_stamps", "swept_total")
+
+    def __init__(self) -> None:
+        #: key -> simulated time of last observation, in insertion order
+        #: (monotone stamps keep the dict sorted by stamp).
+        self._stamps: dict[Hashable, float] = {}
+        #: Total keys expired over this set's lifetime (bench reporting).
+        self.swept_total: int = 0
+
+    def observe(self, key: Hashable, now: float) -> bool:
+        """Record a sighting of ``key`` at ``now``; returns whether the key
+        was already present (i.e. this sighting is a duplicate)."""
+        seen = key in self._stamps
+        if seen:
+            # Move to the back so the dict stays stamp-ordered.
+            del self._stamps[key]
+        self._stamps[key] = now
+        return seen
+
+    def add(self, key: Hashable, now: float) -> None:
+        self.observe(key, now)
+
+    def discard(self, key: Hashable) -> None:
+        self._stamps.pop(key, None)
+
+    def sweep(self, cutoff: float) -> int:
+        """Expire keys last observed before ``cutoff``; returns the count.
+
+        Entries are stamp-ordered, so only the expired prefix is visited.
+        """
+        expired = 0
+        for key, stamp in self._stamps.items():
+            if stamp >= cutoff:
+                break
+            expired += 1
+        if expired:
+            for key in list(islice(self._stamps, expired)):
+                del self._stamps[key]
+            self.swept_total += expired
+        return expired
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._stamps
+
+    def __len__(self) -> int:
+        return len(self._stamps)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._stamps)
+
+    def __repr__(self) -> str:
+        return f"RetentionSet({len(self._stamps)} keys, {self.swept_total} swept)"

@@ -16,6 +16,13 @@ The retry-orchestration mechanics live here too:
   (Section 4.4);
 - tail calls atomically complete the current request while issuing the next
   one: a single produced message serves as both (Section 2.3).
+
+Memory management lives in a per-component maintenance loop: instances idle
+past ``idle_passivation_timeout`` are passivated (``Actor.deactivate``,
+then eviction of the instance, its mailbox, and its state cache), and the
+dedup evidence (settled ids, handled keys) is retention-clocked in step
+with broker record expiry -- so a long-running component's footprint tracks
+its working set, not its lifetime history.
 """
 
 from __future__ import annotations
@@ -33,6 +40,8 @@ from repro.core.errors import (
 )
 from repro.core.placement import PlacementService
 from repro.core.refs import ActorRef
+from repro.core.retention import RetentionSet
+from repro.core.state import ActorStateCache
 from repro.kvstore import FencedClientError
 from repro.mq import FencedMemberError, GenerationInfo, StaleRouteError
 from repro.sim import SimProcess
@@ -73,8 +82,17 @@ class Component:
         self._mailboxes: dict[ActorRef, ActorMailbox] = {}
         self._pending_calls: dict[str, Any] = {}
         self._parked: dict[str, list[Request]] = {}
-        self._settled: set[str] = set()
-        self._handled: set[tuple[str, int]] = set()
+        # Completion evidence is retention-clocked, not kept forever: a
+        # duplicate can only be minted from an unexpired broker record, so
+        # evidence older than the retention horizon is garbage (swept by
+        # the maintenance loop).
+        self._settled: RetentionSet = RetentionSet()
+        self._handled: RetentionSet = RetentionSet()
+        # Per-resident-instance lifecycle bookkeeping (passivation) and
+        # write-through state caches; all three evict together.
+        self._state_caches: dict[ActorRef, ActorStateCache] = {}
+        self._last_active: dict[ActorRef, float] = {}
+        self.passivations = 0
         self._live_members: set[str] | None = None
         self.is_leader = False
 
@@ -116,6 +134,11 @@ class Component:
         )
         self.kernel.spawn(
             self._reminder_loop(), self.process, name=f"reminders:{self.member_id}"
+        )
+        self.kernel.spawn(
+            self._maintenance_loop(),
+            self.process,
+            name=f"maintenance:{self.member_id}",
         )
         self.trace.emit("component.start", member=self.member_id)
         return self
@@ -271,6 +294,7 @@ class Component:
             return
         while True:
             await self.coordinator.wait_unpaused()
+            resolved_name = None
             if reply_to in self.coordinator.members:
                 target = reply_to
             elif request.caller_actor is None:
@@ -284,16 +308,21 @@ class Component:
                 if not candidates:
                     await self.kernel.sleep(_PLACEMENT_RETRY_DELAY)
                     continue
-                name = await self.placement.resolve(
+                resolved_name = await self.placement.resolve(
                     request.caller_actor, candidates
                 )
-                target = self._live_incarnation(name)
+                target = self._live_incarnation(resolved_name)
                 if target is None:
-                    self.placement.invalidate_components({name})
+                    self.placement.invalidate_components({resolved_name})
                     continue
             try:
                 await self.member.send(target, response)
             except StaleRouteError:
+                # The resolved target died while the send was in flight:
+                # drop the cached placement (as _route_request does) so the
+                # retry re-resolves instead of spinning on the dead entry.
+                if resolved_name is not None:
+                    self.placement.invalidate_components({resolved_name})
                 continue
             self.trace.emit(
                 "response.sent",
@@ -314,6 +343,7 @@ class Component:
         eagerly on failure without ever re-running completed work."""
         while True:
             await self.coordinator.wait_unpaused()
+            resolved_name = None
             reply_to = request.reply_to
             if reply_to in self.coordinator.members:
                 target = reply_to
@@ -328,18 +358,20 @@ class Component:
                 if not candidates:
                     await self.kernel.sleep(_PLACEMENT_RETRY_DELAY)
                     continue
-                name = await self.placement.resolve(
+                resolved_name = await self.placement.resolve(
                     request.caller_actor, candidates
                 )
-                target = self._live_incarnation(name)
+                target = self._live_incarnation(resolved_name)
                 if target is None:
-                    self.placement.invalidate_components({name})
+                    self.placement.invalidate_components({resolved_name})
                     continue
             try:
                 await self.member.send_transaction(
                     [(target, response), (self.member_id, response)]
                 )
             except StaleRouteError:
+                if resolved_name is not None:
+                    self.placement.invalidate_components({resolved_name})
                 continue
             self.trace.emit(
                 "response.sent",
@@ -366,10 +398,16 @@ class Component:
             self._suicide()
 
     def _handle_response(self, response: Response) -> None:
-        self._settled.add(response.request_id)
-        future = self._pending_calls.pop(response.request_id, None)
-        if future is not None and not future.done():
-            future.set_result(response)
+        if self._settled.observe(response.request_id, self.kernel.now):
+            # Late duplicate: the caller already observed an outcome for
+            # this id (e.g. a synthetic cancellation raced the real
+            # response). Never resolve a pending future for a settled id --
+            # the first outcome is the one the caller acted on.
+            self.trace.emit("response.duplicate", request=response.request_id)
+        else:
+            future = self._pending_calls.pop(response.request_id, None)
+            if future is not None and not future.done():
+                future.set_result(response)
         # Happen-before: release any retry parked on this callee.
         for parked in self._parked.pop(response.request_id, ()):
             self.trace.emit(
@@ -380,14 +418,16 @@ class Component:
             self._admit(parked)
 
     def _handle_request(self, request: Request) -> None:
-        if request.dedup_key in self._handled:
+        if self._handled.observe(request.dedup_key, self.kernel.now):
             # A reconciliation restart copied this request twice (Section
             # 4.3: "request messages already copied ... are skipped").
+            # Observing the duplicate also refreshes the evidence's
+            # retention stamp: the copy proves an unexpired record still
+            # exists that could be copied again.
             self.trace.emit(
                 "request.duplicate", request=request.request_id, step=request.step
             )
             return
-        self._handled.add(request.dedup_key)
         if (
             request.after_callee is not None
             and request.after_callee not in self._settled
@@ -405,6 +445,7 @@ class Component:
 
     def _admit(self, request: Request) -> None:
         mailbox = self._mailboxes.setdefault(request.actor, ActorMailbox())
+        self._last_active[request.actor] = self.kernel.now
         if mailbox.try_admit(request):
             self._spawn_executor(request)
 
@@ -490,6 +531,7 @@ class Component:
                 raise
             except Exception as error:  # noqa: BLE001 - app boundary
                 del self._instances[request.actor]
+                self._state_caches.pop(request.actor, None)
                 return ("error", f"{type(error).__name__}: {error}")
         await self._hop()  # sidecar -> app dispatch
         self.trace.emit(
@@ -537,6 +579,7 @@ class Component:
         return request.caller_member not in self._live_members
 
     def _finish_frame(self, request: Request, tail_to_self: bool) -> None:
+        self._last_active[request.actor] = self.kernel.now
         mailbox = self._mailboxes.get(request.actor)
         if mailbox is None:
             return
@@ -587,6 +630,137 @@ class Component:
                 await deliver_due_reminders(self)
         except _FENCE_ERRORS:
             self._suicide()
+
+    # ------------------------------------------------------------------
+    # actor lifecycle & memory management (idle passivation, dedup GC)
+    # ------------------------------------------------------------------
+    def state_cache_for(self, ref: ActorRef) -> ActorStateCache | None:
+        """Write-through state cache for a *resident* instance's own state
+        (``ctx.state``); disabled by config, never used for ``state_of``."""
+        if not self.config.state_cache:
+            return None
+        cache = self._state_caches.get(ref)
+        if cache is None:
+            cache = self._state_caches[ref] = ActorStateCache()
+        return cache
+
+    def existing_state_cache(self, ref: ActorRef) -> ActorStateCache | None:
+        """Cache for ``ref`` only if one is already resident here.
+
+        ``state_of`` views share the resident instance's cache so their
+        writes stay coherent with it, but must not mint cache entries for
+        actors hosted elsewhere (no single-writer guarantee there).
+        """
+        if not self.config.state_cache:
+            return None
+        return self._state_caches.get(ref)
+
+    async def _maintenance_loop(self) -> None:
+        """Periodic housekeeping: expire dedup evidence in step with broker
+        record expiry, and passivate actors idle past the configured
+        timeout. Both keep a long-running component's memory bounded by its
+        *working set* instead of its lifetime history."""
+        try:
+            while True:
+                await self.kernel.sleep(self.config.maintenance_interval)
+                self._sweep_dedup_evidence()
+                if self.config.idle_passivation_timeout is not None:
+                    await self._sweep_idle_actors()
+        except _FENCE_ERRORS:
+            self._suicide()
+
+    def _sweep_dedup_evidence(self) -> None:
+        """The paper's retention rule: dedup evidence only needs to outlive
+        the unexpired messages that could duplicate it, so the sweep cutoff
+        tracks the broker retention horizon (plus delivery-lag slack)."""
+        horizon = (
+            self.config.broker.retention_seconds
+            + self.config.dedup_retention_slack
+        )
+        cutoff = self.kernel.now - horizon
+        if cutoff <= 0.0:
+            return
+        swept = self._settled.sweep(cutoff) + self._handled.sweep(cutoff)
+        if swept:
+            self.trace.emit(
+                "dedup.swept",
+                member=self.member_id,
+                swept=swept,
+                settled=len(self._settled),
+                handled=len(self._handled),
+            )
+
+    async def _sweep_idle_actors(self) -> None:
+        timeout = self.config.idle_passivation_timeout
+        now = self.kernel.now
+        idle = [
+            ref
+            for ref, mailbox in self._mailboxes.items()
+            if mailbox.idle
+            and now - self._last_active.get(ref, 0.0) >= timeout
+        ]
+        for ref in idle:
+            # Passivations await (hops, the deactivate hook), so an actor
+            # later in the sweep may have served requests meanwhile:
+            # re-check its idle clock at its turn, not the sweep snapshot.
+            if self.kernel.now - self._last_active.get(ref, 0.0) < timeout:
+                continue
+            await self._passivate(ref)
+
+    async def _passivate(self, ref: ActorRef) -> None:
+        """Deactivate and evict one idle instance (with its mailbox, state
+        cache, and activity stamp). The mailbox lock is held with a token
+        no request can match, so a request arriving mid-deactivate queues
+        behind the teardown and transparently re-activates the actor."""
+        mailbox = self._mailboxes.get(ref)
+        if mailbox is None:
+            return
+        token = f"passivate:{self.app.ids.fresh()}"
+        if not mailbox.begin_passivation(token):
+            return
+        instance = self._instances.get(ref)
+        deactivate_error = None
+        if instance is not None:
+            request = Request(
+                request_id=token,
+                step=0,
+                actor=ref,
+                method="deactivate",
+                args=(),
+                return_address=None,
+                reply_to=None,
+                caller_actor=None,
+                caller_member=self.member_id,
+                expects_reply=False,
+            )
+            ctx = ActorContext(self, request)
+            await self._hop()  # sidecar -> app: run the deactivate hook
+            try:
+                await instance.deactivate(ctx)
+            except _FENCE_ERRORS:
+                # Fenced mid-deactivate: the component is dead and recovery
+                # owns the actor now; nothing to release.
+                raise
+            except Exception as error:  # noqa: BLE001 - app boundary
+                deactivate_error = f"{type(error).__name__}: {error}"
+            await self._hop()  # app -> sidecar
+        self._instances.pop(ref, None)
+        self._state_caches.pop(ref, None)
+        self._last_active.pop(ref, None)
+        self.passivations += 1
+        self.trace.emit(
+            "actor.passivate",
+            actor=str(ref),
+            member=self.member_id,
+            error=deactivate_error,
+        )
+        successor = mailbox.end_passivation(token)
+        if successor is not None:
+            # A request arrived mid-deactivate: it owns the lock now and
+            # will re-activate the actor on execution.
+            self._spawn_executor(successor)
+        elif self._mailboxes.get(ref) is mailbox and mailbox.idle:
+            del self._mailboxes[ref]
 
     # ------------------------------------------------------------------
     # latency charges (out-of-process runtime architecture, Section 4.1)

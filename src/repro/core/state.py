@@ -4,6 +4,20 @@ Actor state lives in a per-instance hash in the simulated Redis, accessed
 through the hosting component's store client -- so a fenced (failed)
 component can no longer mutate any actor's persisted state, and KAR's retry
 guarantees are independent of whether actors use this API at all.
+
+Two memory/latency optimisations layer on top of the raw hash:
+
+- multi-field operations (``set_multiple``/``get_all``) cost one store
+  round trip via the :meth:`StoreClient.hset_many` / ``hgetall`` primitives
+  instead of one per field;
+- a per-resident-instance **write-through cache** (:class:`ActorStateCache`)
+  absorbs repeat reads. An actor's state is only ever written through its
+  hosting component while the actor is placed there (the placement CAS plus
+  the actor lock make the hosting component the single writer), so the
+  cache can serve reads without revalidation. It is dropped when the
+  instance is passivated and dies with the component on failure; the next
+  activation re-reads the store. ``state_of`` (another instance's state)
+  never uses a cache -- only the self view is single-writer.
 """
 
 from __future__ import annotations
@@ -13,38 +27,120 @@ from typing import Any
 from repro.core.refs import ActorRef
 from repro.kvstore import StoreClient
 
-__all__ = ["ActorStateAPI", "state_key"]
+__all__ = ["ActorStateAPI", "ActorStateCache", "state_key"]
+
+#: Cache marker for a field known to be absent from the store hash.
+#: Distinct from a stored ``None`` value so a warm ``get_all`` reports
+#: exactly what a cold ``hgetall`` would.
+_ABSENT = object()
 
 
 def state_key(ref: ActorRef) -> str:
     return f"state:{ref.type}:{ref.id}"
 
 
+class ActorStateCache:
+    """Write-through view of one resident instance's persisted hash.
+
+    ``fields`` holds every field whose store value is known (``_ABSENT``
+    marks fields known to be missing); ``complete`` records whether the
+    *whole* hash is known (set after a full read or a full wipe), which
+    lets ``get_all`` and missing-field ``get`` answer without a round trip.
+    """
+
+    __slots__ = ("fields", "complete")
+
+    def __init__(self) -> None:
+        self.fields: dict[str, Any] = {}
+        self.complete = False
+
+
 class ActorStateAPI:
     """Get/set/remove persisted fields of one actor instance."""
 
-    def __init__(self, client: StoreClient, ref: ActorRef):
+    def __init__(
+        self,
+        client: StoreClient,
+        ref: ActorRef,
+        cache: ActorStateCache | None = None,
+    ):
         self._client = client
         self._key = state_key(ref)
+        self._cache = cache
 
     async def get(self, field: str, default: Any = None) -> Any:
+        cache = self._cache
+        if cache is not None:
+            if field in cache.fields:
+                value = cache.fields[field]
+                if value is _ABSENT or value is None:
+                    return default
+                return value
+            if cache.complete:
+                return default
         value = await self._client.hget(self._key, field)
+        if cache is not None:
+            cache.fields[field] = _ABSENT if value is None else value
         return default if value is None else value
 
     async def set(self, field: str, value: Any) -> None:
         await self._client.hset(self._key, field, value)
+        if self._cache is not None:
+            self._cache.fields[field] = value
 
     async def set_multiple(self, updates: dict[str, Any]) -> None:
-        for field, value in updates.items():
-            await self._client.hset(self._key, field, value)
+        """Write several fields in one store round trip."""
+        if not updates:
+            return
+        await self._client.hset_many(self._key, updates)
+        if self._cache is not None:
+            self._cache.fields.update(updates)
+
+    async def get_multiple(self, fields: tuple[str, ...]) -> dict[str, Any]:
+        """Read several fields in one store round trip (missing -> None)."""
+        cache = self._cache
+        if cache is not None and all(
+            field in cache.fields or cache.complete for field in fields
+        ):
+            return {
+                field: (
+                    None
+                    if cache.fields.get(field, _ABSENT) is _ABSENT
+                    else cache.fields[field]
+                )
+                for field in fields
+            }
+        values = await self._client.hget_many(self._key, tuple(fields))
+        if cache is not None:
+            for field, value in values.items():
+                cache.fields[field] = _ABSENT if value is None else value
+        return values
 
     async def remove(self, field: str) -> bool:
-        return await self._client.hdel(self._key, field)
+        removed = await self._client.hdel(self._key, field)
+        if self._cache is not None:
+            self._cache.fields[field] = _ABSENT
+        return removed
 
     async def get_all(self) -> dict[str, Any]:
-        return await self._client.hgetall(self._key)
+        cache = self._cache
+        if cache is not None and cache.complete:
+            return {
+                field: value
+                for field, value in cache.fields.items()
+                if value is not _ABSENT
+            }
+        values = await self._client.hgetall(self._key)
+        if cache is not None:
+            cache.fields = dict(values)
+            cache.complete = True
+        return values
 
     async def remove_all(self) -> bool:
         """Delete all persisted state (e.g. an Order actor upon arrival at
         its destination port, Section 5)."""
-        return await self._client.delete_hash(self._key)
+        removed = await self._client.delete_hash(self._key)
+        if self._cache is not None:
+            self._cache.fields = {}
+            self._cache.complete = True
+        return removed

@@ -76,6 +76,13 @@ class KVStore:
     def _hset(self, key: str, field: str, value: Any) -> None:
         self._hashes.setdefault(key, {})[field] = value
 
+    def _hset_many(self, key: str, mapping: dict[str, Any]) -> None:
+        self._hashes.setdefault(key, {}).update(mapping)
+
+    def _hget_many(self, key: str, fields: tuple[str, ...]) -> dict[str, Any]:
+        bucket = self._hashes.get(key, {})
+        return {field: bucket.get(field) for field in fields}
+
     def _hgetall(self, key: str) -> dict[str, Any]:
         return dict(self._hashes.get(key, {}))
 
@@ -137,6 +144,19 @@ class StoreClient:
         await self._round_trip()
         self.store._check(self.client_id)
         self.store._hset(key, field, value)
+
+    async def hset_many(self, key: str, mapping: dict[str, Any]) -> None:
+        """Set several hash fields in one round trip (Redis HSET/HMSET)."""
+        await self._round_trip()
+        self.store._check(self.client_id)
+        self.store._hset_many(key, dict(mapping))
+
+    async def hget_many(self, key: str, fields: tuple[str, ...]) -> dict[str, Any]:
+        """Read several hash fields in one round trip (Redis HMGET);
+        missing fields map to ``None``."""
+        await self._round_trip()
+        self.store._check(self.client_id)
+        return self.store._hget_many(key, tuple(fields))
 
     async def hgetall(self, key: str) -> dict[str, Any]:
         await self._round_trip()

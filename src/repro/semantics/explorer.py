@@ -47,7 +47,7 @@ class ExplorationResult:
 class _Node:
     state: RuntimeState
     failures_left: int
-    started: frozenset  # {(id, actor)} -- ids that ever had a process
+    started: frozenset  # {(id, actor, method)} -- ids that ever had a process
     responded: frozenset  # ids that ever had a response in the flow
     trace: tuple = ()
 
@@ -129,8 +129,17 @@ class Explorer:
     def _advance(self, node: _Node, labelled: Labelled, failure: bool) -> _Node:
         started = node.started
         if labelled.rule == "begin":
-            request_id, actor, _method = labelled.detail
-            started = started | {(request_id, actor)}
+            request_id, actor, method = labelled.detail
+            started = started | {(request_id, actor, method)}
+        elif labelled.rule == "tail-other":
+            # The request re-queues at the back of another actor's line: its
+            # prior incarnations' reachability tags no longer apply (even if
+            # the chain later returns to the same actor and method). The new
+            # incarnation is tagged again when it begins.
+            request_id = labelled.detail[0]
+            started = frozenset(
+                tag for tag in started if tag[0] != request_id
+            )
         responded = node.responded
         new_responses = {
             msg.id for msg in labelled.state.flow if msg.kind == "resp"

@@ -8,9 +8,10 @@
 - 3.4 (happen-before): a request with a pending nested call is not runnable.
 
 3.1 and 3.2 relate different states along a path, so the explorer threads
-two monotone sets through each node: ``started`` (ids that ever had a
-process, with their actor tag) and ``responded`` (ids that ever had a
-response in the flow).
+two sets through each node: ``started`` (ids that had a process, tagged
+with the (actor, method) invocation they began; tags are retired when a
+tail-other retargets the request) and ``responded`` (ids that ever had a
+response in the flow, monotone).
 """
 
 from __future__ import annotations
@@ -40,18 +41,23 @@ def check_retry_reachability(
 ) -> None:
     """Theorem 3.1, with the tag read against the request's current target.
 
-    A tail call to a *different* actor (tail-other) legitimately retargets
-    the request: the id survives, the actor changes, and the request may
-    transiently queue behind the new actor's older invocations before
-    re-beginning there. (Random-program exploration exposes this; the
-    paper's statement binds the tag to the actor the process ran on, which
-    only coincides with the request's actor until the first tail-other.)
-    The enforced invariant: once a request has begun on an actor, it stays
-    reachable from that actor for as long as it still targets it.
+    A tail call (tail-other) legitimately retargets the request: the id
+    survives, the target changes, and the request may transiently queue
+    behind the new actor's older invocations before re-beginning there.
+    This holds even when a tail-call chain returns to an actor it already
+    ran on (a -> b -> a): the final link is a *new* invocation of ``a`` and
+    may queue behind requests that arrived meanwhile, so the tag must be
+    compared against the full (actor, method) target, not just the actor.
+    (Random-program exploration exposes both cases; the paper's statement
+    binds the tag to the invocation the process ran, which only coincides
+    with the request's current target until the first tail call.)
+    The enforced invariant: once a request has begun an invocation, it
+    stays reachable from that actor for as long as it still targets that
+    same invocation.
     """
-    for started_id, actor in started:
+    for started_id, actor, method in started:
         msg = state.request(started_id)
-        if msg is None or msg.actor != actor:
+        if msg is None or msg.actor != actor or msg.method != method:
             continue  # answered, or retargeted by a tail call
         if not reachable(started_id, actor, state.flow):
             raise TheoremViolation(

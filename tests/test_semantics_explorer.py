@@ -116,7 +116,27 @@ def test_monitor_detects_unreachable_started_request():
     state = RuntimeState(flow, Ensemble(), (), 10)
     with pytest.raises(TheoremViolation):
         check_retry_reachability(
-            state, frozenset({(9, "a")}), frozenset()
+            state, frozenset({(9, "a", "m")}), frozenset()
+        )
+
+
+def test_retry_reachability_allows_tail_chain_returning_to_same_actor():
+    # Request 1 began as a.m1, tail-called away and back (a -> b -> a): it
+    # now targets a.m3 and legitimately queues behind request 2 (a retried
+    # tell that re-issued a.m1 with a fresh id). The monitor must treat the
+    # final link as a retarget, not as an unreachable started request.
+    flow = (
+        Msg(2, None, "req", "a", "m1", 0),  # leftmost of a (newer tell)
+        Msg(0, None, "resp", value=0),
+        Msg(1, None, "req", "a", "m3", 0),  # the returned tail chain
+    )
+    state = RuntimeState(flow, Ensemble(), (), 3)
+    check_retry_reachability(state, frozenset({(1, "a", "m1")}), frozenset())
+    # Once the final link has *begun* on a.m3, the tag matches again and a
+    # broken chain would be reported.
+    with pytest.raises(TheoremViolation):
+        check_retry_reachability(
+            state, frozenset({(1, "a", "m3")}), frozenset()
         )
 
 

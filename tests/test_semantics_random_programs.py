@@ -91,6 +91,64 @@ def test_theorems_hold_for_random_programs(program, root_actor, failures):
         assert len(state.ensemble) == 0
 
 
+def test_tail_chain_returning_to_root_actor_under_failure():
+    """Regression: a tell whose handler tail-calls a -> b -> a, explored
+    with one failure, once tripped Theorem 3.1's monitor. The retried tell
+    re-issues a.m1 with a fresh id, and the original chain's final link
+    (same id, now targeting a.m3) queues behind it on 'a' -- a legitimate
+    tail retarget, not an unreachable started request."""
+    program = ModelProgram()
+    program.define(
+        MethodDef(
+            "m0",
+            "v",
+            (TellStmt(Lit("a"), "m1", Var("v")), Return(Lit(0))),
+        )
+    )
+    program.define(MethodDef("m1", "v", (TailStmt(Lit("b"), "m2", Var("v")),)))
+    program.define(MethodDef("m2", "v", (TailStmt(Lit("a"), "m3", Var("v")),)))
+    program.define(MethodDef("m3", "v", (Return(Lit(3)),)))
+    init = initial_state("a", "m0", 0, {"a": 0, "b": 0})
+    result = Explorer(
+        program,
+        max_failures=1,
+        monitors=make_monitors(),
+        max_states=150_000,
+    ).explore(init)
+    assert not result.truncated
+    assert result.quiescent
+    for state in result.quiescent:
+        assert state.response(0) is not None
+        assert len(state.ensemble) == 0
+
+
+def test_tail_cycle_revisiting_same_invocation_under_failure():
+    """Regression: a tail cycle a.m1 -> b.m2 -> a.m1 revisits the *same*
+    (actor, method) invocation, so the started tag alone cannot tell the
+    new incarnation from the old; the explorer must retire tags on
+    tail-other. The cycle never quiesces (memoization closes the loop
+    instead) but no theorem may be violated along the way."""
+    program = ModelProgram()
+    program.define(
+        MethodDef(
+            "m0",
+            "v",
+            (TellStmt(Lit("a"), "m1", Var("v")), Return(Lit(0))),
+        )
+    )
+    program.define(MethodDef("m1", "v", (TailStmt(Lit("b"), "m2", Var("v")),)))
+    program.define(MethodDef("m2", "v", (TailStmt(Lit("a"), "m1", Var("v")),)))
+    init = initial_state("a", "m0", 0, {"a": 0, "b": 0})
+    result = Explorer(
+        program,
+        max_failures=1,
+        monitors=make_monitors(),
+        max_states=5_000,
+    ).explore(init)  # raising TheoremViolation here is the regression
+    assert result.states_visited > 0
+    assert not result.quiescent  # the chain spins; nothing ever quiesces
+
+
 @given(program=programs())
 @settings(max_examples=15, deadline=None)
 def test_cancellation_never_blocks_completion(program):
