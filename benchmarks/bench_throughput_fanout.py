@@ -1,0 +1,123 @@
+"""Fan-in throughput: the send outbox amortizes produce round trips.
+
+32 concurrent clients hammer actors hosted by a single worker component --
+the "dedicated message queue per component" design of Section 4.1 taken to
+its RTT-bound extreme: every request and every response is one broker
+record, and before the batched transport each record paid one full produce
+round trip. With the outbox, envelopes accumulated within ``send_linger``
+coalesce into one ``produce_batch`` round trip per flush.
+
+Three transports over the identical workload:
+
+- **unbatched** -- ``send_batch_max=1``: one produce round trip per record,
+  the pre-refactor accounting (sanity-checked: round trips == records);
+- **coalesce** -- default ``send_linger=0.0``: only same-event-loop-turn
+  sends batch, zero added latency;
+- **linger 2ms** -- ``send_linger=0.002``: bursts within the window batch.
+
+The unbatched transport's *round-trip count* is the pre-refactor number
+(exactly one produce per record); its latency column overstates the old
+transport, whose per-caller sends overlapped, so compare latency between
+the two batched rows and round trips against the unbatched row.
+"""
+
+from __future__ import annotations
+
+from repro.core import Actor, KarApplication, KarConfig, actor_proxy
+from repro.sim import Kernel
+from repro.bench import render_table
+
+from _shared import FULL, emit
+
+FAN_IN = 32
+CALLS = 60 if FULL else 15
+
+
+class EchoActor(Actor):
+    async def echo(self, ctx, payload):
+        return payload
+
+
+def run_fanout(label: str, **overrides) -> dict:
+    kernel = Kernel(seed=11)
+    config = KarConfig.fast_test().with_overrides(**overrides)
+    app = KarApplication(kernel, config)
+    app.register_actor(EchoActor, name="Echo")
+    app.add_component("workers", ("Echo",))
+    client = app.client()
+    app.settle()
+
+    refs = [actor_proxy("Echo", f"a{i}") for i in range(FAN_IN)]
+    samples: list[float] = []
+    round_trips_before = app.broker.produce_count
+    records_before = app.broker.produce_record_count
+
+    async def driver(ref):
+        for _ in range(CALLS):
+            start = kernel.now
+            await client.invoke(None, ref, "echo", ("x",), True)
+            samples.append(kernel.now - start)
+
+    tasks = [
+        kernel.spawn(driver(ref), client.process, name=f"driver:{ref.id}")
+        for ref in refs
+    ]
+    kernel.run_until_complete(kernel.gather(tasks), timeout=3600.0)
+    kernel.check_no_crashes()
+    samples.sort()
+    stats = app.transport_stats()
+    return {
+        "label": label,
+        "round_trips": app.broker.produce_count - round_trips_before,
+        "records": app.broker.produce_record_count - records_before,
+        "largest_batch": stats["largest_batch"],
+        "median_ms": samples[len(samples) // 2] * 1000.0,
+    }
+
+
+def measure_all():
+    return [
+        run_fanout("unbatched (batch_max=1)", send_batch_max=1),
+        run_fanout("coalesce (linger=0)"),
+        run_fanout("linger 2ms", send_linger=0.002),
+    ]
+
+
+def test_fanout_batching_amortizes_produce_round_trips(benchmark):
+    rows = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+    by_label = {row["label"]: row for row in rows}
+    unbatched = by_label["unbatched (batch_max=1)"]
+    coalesce = by_label["coalesce (linger=0)"]
+    linger = by_label["linger 2ms"]
+
+    emit(
+        "throughput_fanout.txt",
+        render_table(
+            ["Transport", "Produce RTs", "Records", "Largest batch",
+             "Median call (ms)"],
+            [
+                (r["label"], r["round_trips"], r["records"],
+                 r["largest_batch"], round(r["median_ms"], 3))
+                for r in rows
+            ],
+            title=(
+                f"Fan-in {FAN_IN} x {CALLS} calls through one worker: "
+                "produce round trips by transport"
+            ),
+            digits=3,
+        ),
+    )
+    benchmark.extra_info["unbatched_round_trips"] = unbatched["round_trips"]
+    benchmark.extra_info["linger_round_trips"] = linger["round_trips"]
+
+    # Identical workload: the same records land under every transport.
+    assert unbatched["records"] == coalesce["records"] == linger["records"]
+    # send_batch_max=1 restores the pre-refactor accounting exactly: one
+    # produce round trip per appended record.
+    assert unbatched["round_trips"] == unbatched["records"]
+    # Headline: the lingered outbox needs >= 3x fewer round trips at
+    # fan-in 32 (in practice it is closer to the fan-in factor itself).
+    assert unbatched["round_trips"] >= 3 * linger["round_trips"]
+    assert linger["largest_batch"] > 1
+    # Zero linger already coalesces same-instant bursts for free.
+    assert coalesce["round_trips"] <= unbatched["round_trips"]

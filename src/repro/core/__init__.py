@@ -29,6 +29,7 @@ from repro.core.placement import PlacementService
 from repro.core.refs import ActorRef, actor_proxy
 from repro.core.reminders import ReminderAPI
 from repro.core.retention import RetentionSet
+from repro.core.router import Router
 from repro.core.runtime import Component
 from repro.core.state import ActorStateAPI, ActorStateCache
 
@@ -52,6 +53,7 @@ __all__ = [
     "Request",
     "RetentionSet",
     "Response",
+    "Router",
     "TailCall",
     "actor_proxy",
 ]

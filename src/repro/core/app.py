@@ -158,3 +158,18 @@ class KarApplication:
         return sorted(
             member.rsplit("#", 1)[0] for member in self.coordinator.members
         )
+
+    def transport_stats(self) -> dict[str, int]:
+        """Aggregate transport counters across the broker and every current
+        component incarnation's router -- the evidence surface for the
+        throughput benchmarks (round trips vs. records sent)."""
+        routers = [c.router for c in self.components.values()]
+        return {
+            "produce_round_trips": self.broker.produce_count,
+            "records_appended": self.broker.produce_record_count,
+            "outbox_batches": sum(r.batches_flushed for r in routers),
+            "outbox_records": sum(r.records_sent for r in routers),
+            "largest_batch": max(
+                (r.largest_batch for r in routers), default=0
+            ),
+        }

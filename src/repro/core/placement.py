@@ -4,6 +4,13 @@ Runtime processes coordinate actor placement using a CAS on the persistent
 store; each runtime keeps a placement cache invalidated on component
 failures (Section 4.1). Table 2's "KAR Actor (no cache)" row disables the
 cache, paying one store round trip per invocation.
+
+Resolution is *single-flight* per component: when many concurrent sends
+target the same (cache-missed) actor, the first caller runs the store
+GET+CAS loop and every other caller shares its in-flight result instead of
+issuing redundant round trips. Single-flight is the fan-in analogue of the
+placement cache and is disabled with it, so the "no cache" ablation still
+pays full store cost per invocation.
 """
 
 from __future__ import annotations
@@ -30,6 +37,11 @@ class PlacementService:
         self._client = client
         self._cache_enabled = cache_enabled
         self._cache: dict[ActorRef, str] = {}
+        self._inflight: dict[ActorRef, object] = {}
+        #: Resolutions that ran the store lookup themselves.
+        self.store_resolutions = 0
+        #: Resolutions that piggybacked on another caller's in-flight lookup.
+        self.shared_resolutions = 0
 
     def invalidate_components(self, component_names: set[str]) -> None:
         """Drop cache entries pointing at failed components."""
@@ -52,12 +64,47 @@ class PlacementService:
         type. The cache short-circuits the store on most invocations; cache
         misses read the store and, when the actor is unplaced (or placed on
         a component that no longer exists), race a CAS to claim it.
+        Concurrent cache-missed resolutions for the same ``ref`` share one
+        in-flight lookup instead of each paying the store round trips.
         """
         if not candidates:
             raise NoPlacementError(f"no live component supports {ref.type!r}")
-        cached = self.cache_peek(ref)
-        if cached is not None and cached in candidates:
-            return cached
+        while True:
+            cached = self.cache_peek(ref)
+            if cached is not None and cached in candidates:
+                return cached
+            if not self._cache_enabled:
+                # The "no cache" ablation (Table 2) measures uncached
+                # placement cost: no sharing either -- every resolution
+                # hits the store.
+                return await self._lookup(ref, candidates)
+            inflight = self._inflight.get(ref)
+            if inflight is None:
+                break
+            self.shared_resolutions += 1
+            resolved = await inflight
+            if resolved in candidates:
+                return resolved
+            # The shared result points at a component this caller does not
+            # consider live (membership moved mid-flight): re-check for a
+            # fresher flight before running a lookup of our own.
+        future = self._client.store.kernel.create_future()
+        self._inflight[ref] = future
+        try:
+            resolved = await self._lookup(ref, candidates)
+        except BaseException as error:
+            if self._inflight.get(ref) is future:
+                del self._inflight[ref]
+            future.set_exception(error)
+            raise
+        if self._inflight.get(ref) is future:
+            del self._inflight[ref]
+        future.set_result(resolved)
+        return resolved
+
+    async def _lookup(self, ref: ActorRef, candidates: list[str]) -> str:
+        """The store GET+CAS loop behind a cache-missed resolution."""
+        self.store_resolutions += 1
         key = placement_key(ref)
         while True:
             current = await self._client.get(key)

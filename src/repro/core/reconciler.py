@@ -114,14 +114,14 @@ class Reconciler:
         copies: list[tuple[str, Request]] = []
         unplaced: list[Request] = []
         for _partition, request in stranded:
-            candidates = component._live_candidates(request.actor.type)
+            candidates = component.router.live_candidates(request.actor.type)
             if not candidates:
                 unplaced.append(request)
                 continue
             target_name = await component.placement.resolve(
                 request.actor, candidates
             )
-            target_member = component._live_incarnation(target_name)
+            target_member = component.router.live_incarnation(target_name)
             if target_member is None:
                 unplaced.append(request)
                 continue

@@ -1,0 +1,372 @@
+"""Per-component transport: routing, the send outbox, and batched flushing.
+
+Every envelope a component emits -- requests from ``invoke``, tail-call
+successors, responses and tell self-acks -- passes through this layer.
+It resolves a destination partition (placement + live-incarnation lookup),
+enqueues the envelope in a per-component *outbox* with a per-message
+durability future, and lets a flusher coalesce everything accumulated
+within ``KarConfig.send_linger`` (up to ``send_batch_max`` envelopes) into
+a single ``GroupMember.send_batch`` produce round trip.
+
+Semantics are those of the unbatched transport:
+
+- a durability future only resolves after the covering batch's produce
+  ack, so callers still observe "durably queued" exactly when the broker
+  acknowledged their record;
+- fencing is checked at append time and rejects the whole batch -- every
+  waiting sender observes :class:`FencedMemberError` and the component
+  runs its fenced-exit path;
+- a stale destination inside a batch fails only its own entries: the
+  affected envelope is re-routed (placement invalidated, re-resolved,
+  re-enqueued) while the rest of the batch lands;
+- tail calls remain a single record that atomically completes the current
+  request while issuing the next one (Section 2.3);
+- completion-log mode keeps using ``send_transaction`` so the caller's
+  response and the local completion record stay atomic (Section 4.3).
+
+The routing tables derived from group membership (which component names
+are live, which member incarnation answers for a name) are memoized per
+coordinator generation instead of being rebuilt on every attempt; the
+generation listener invalidates them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.mq import FencedMemberError, StaleRouteError
+
+if TYPE_CHECKING:
+    from repro.core.envelope import Request, Response
+    from repro.core.runtime import Component
+    from repro.mq.records import Record
+
+__all__ = ["Router"]
+
+#: Delay before re-checking for a live component supporting an actor type
+#: ("KAR queues requests to unavailable types separately, revisiting this
+#: queue when new components are added", Section 4.3).
+_PLACEMENT_RETRY_DELAY = 0.25
+
+
+class _OutboxEntry:
+    """One queued envelope and the future resolved at its produce ack."""
+
+    __slots__ = ("partition", "envelope", "future")
+
+    def __init__(self, partition: str, envelope: Any, future):
+        self.partition = partition
+        self.envelope = envelope
+        self.future = future
+
+
+class Router:
+    """Routing and batched sending for one component."""
+
+    def __init__(self, component: "Component"):
+        self.component = component
+        self._outbox: list[_OutboxEntry] = []
+        self._flusher_running = False
+        # Membership-derived routing tables, memoized per generation.
+        self._generation_seen = -1
+        self._candidates: dict[str, list[str]] = {}
+        self._incarnations: dict[str, str] | None = None
+        # Evidence counters for the throughput benchmarks.
+        self.batches_flushed = 0
+        self.records_sent = 0
+        self.largest_batch = 0
+
+    # ------------------------------------------------------------------
+    # shortcuts
+    # ------------------------------------------------------------------
+    @property
+    def kernel(self):
+        return self.component.kernel
+
+    @property
+    def config(self):
+        return self.component.config
+
+    @property
+    def coordinator(self):
+        return self.component.coordinator
+
+    @property
+    def placement(self):
+        return self.component.placement
+
+    @property
+    def trace(self):
+        return self.component.trace
+
+    # ------------------------------------------------------------------
+    # membership-derived routing tables (memoized per generation)
+    # ------------------------------------------------------------------
+    def invalidate_membership(self) -> None:
+        """Flush the memoized tables (called on every new generation)."""
+        self._generation_seen = self.coordinator.generation
+        self._candidates.clear()
+        self._incarnations = None
+
+    def _refresh_membership(self) -> None:
+        if self.coordinator.generation != self._generation_seen:
+            self.invalidate_membership()
+
+    def live_candidates(self, actor_type: str) -> list[str]:
+        """Sorted live component names announcing ``actor_type``."""
+        self._refresh_membership()
+        cached = self._candidates.get(actor_type)
+        if cached is None:
+            names = {m.rsplit("#", 1)[0] for m in self.coordinator.members}
+            component_types = self.component.app.component_types
+            cached = self._candidates[actor_type] = sorted(
+                name
+                for name in names
+                if actor_type in component_types.get(name, frozenset())
+            )
+        return cached
+
+    def live_incarnation(self, component_name: str) -> str | None:
+        """The live member id answering for a component name, if any."""
+        self._refresh_membership()
+        if self._incarnations is None:
+            table: dict[str, str] = {}
+            for member_id in self.coordinator.members:
+                table.setdefault(member_id.rsplit("#", 1)[0], member_id)
+            self._incarnations = table
+        return self._incarnations.get(component_name)
+
+    # ------------------------------------------------------------------
+    # the send outbox
+    # ------------------------------------------------------------------
+    def send_durable(self, partition: str, envelope: Any):
+        """Enqueue one envelope for the next batched flush.
+
+        Returns a future resolved with the appended :class:`Record` once
+        the covering batch's produce round trip acknowledged, or failed
+        with :class:`StaleRouteError` (this entry must be re-routed) or a
+        fence error (the component is dead).
+        """
+        future = self.kernel.create_future()
+        self._outbox.append(_OutboxEntry(partition, envelope, future))
+        if not self._flusher_running:
+            self._flusher_running = True
+            self.kernel.spawn(
+                self._flush_outbox(),
+                self.component.process,
+                name=f"outbox:{self.component.member_id}",
+            )
+        return future
+
+    async def _flush_outbox(self) -> None:
+        """Drain the outbox in FIFO batches after the linger window.
+
+        ``send_linger == 0.0`` still coalesces everything enqueued in the
+        same event-loop turn (the zero-delay sleep runs after already
+        scheduled work at this instant) while adding no simulated latency.
+        FIFO draining keeps per-partition send order across batches.
+        """
+        await self.kernel.sleep(self.config.send_linger)
+        while self._outbox:
+            limit = max(1, self.config.send_batch_max)
+            batch = self._outbox[:limit]
+            del self._outbox[: len(batch)]
+            try:
+                await self._flush_batch(batch)
+            except FencedMemberError as error:
+                # Append-time fencing rejects whole batches: nothing was
+                # appended, and this member can never send again. Fail every
+                # waiting sender (their tasks run the fenced-exit path).
+                for entry in batch + self._outbox:
+                    if not entry.future.done():
+                        entry.future.set_exception(error)
+                self._outbox.clear()
+                break
+        self._flusher_running = False
+
+    async def _flush_batch(self, batch: list[_OutboxEntry]) -> None:
+        member = self.component.member
+        self.batches_flushed += 1
+        self.largest_batch = max(self.largest_batch, len(batch))
+        if len(batch) == 1:
+            # Singleton batches take the single-record produce path: same
+            # round trip, same semantics, friendlier to fault injection.
+            entry = batch[0]
+            try:
+                record = await member.send(entry.partition, entry.envelope)
+            except StaleRouteError as error:
+                if not entry.future.done():
+                    entry.future.set_exception(error)
+                return
+            self.records_sent += 1
+            if not entry.future.done():
+                entry.future.set_result(record)
+            return
+        outcomes = await member.send_batch(
+            [(entry.partition, entry.envelope) for entry in batch]
+        )
+        for entry, outcome in zip(batch, outcomes):
+            if isinstance(outcome, StaleRouteError):
+                if not entry.future.done():
+                    entry.future.set_exception(outcome)
+            else:
+                self.records_sent += 1
+                if not entry.future.done():
+                    entry.future.set_result(outcome)
+
+    # ------------------------------------------------------------------
+    # request routing
+    # ------------------------------------------------------------------
+    async def route_request(self, request: "Request") -> None:
+        """Resolve placement and durably enqueue; retries stale routes."""
+        while True:
+            await self.coordinator.wait_unpaused()
+            candidates = self.live_candidates(request.actor.type)
+            if not candidates:
+                await self.kernel.sleep(_PLACEMENT_RETRY_DELAY)
+                continue
+            target_name = await self.placement.resolve(request.actor, candidates)
+            target_member = self.live_incarnation(target_name)
+            if target_member is None:
+                self.placement.invalidate_components({target_name})
+                continue
+            try:
+                await self.send_durable(target_member, request)
+            except StaleRouteError:
+                self.placement.invalidate_components({target_name})
+                continue
+            self.trace.emit(
+                "request.sent",
+                request=request.request_id,
+                step=request.step,
+                actor=str(request.actor),
+                method=request.method,
+                target=target_member,
+                sender=self.component.member_id,
+            )
+            return
+
+    # ------------------------------------------------------------------
+    # response routing
+    # ------------------------------------------------------------------
+    async def send_response(
+        self, request: "Request", response: "Response"
+    ) -> None:
+        """Route a response to the caller's queue; if the caller's component
+        died, follow the caller actor's (re-assigned) placement instead.
+
+        Tells self-acknowledge into the *executing* component's own queue
+        (Section 4.1): the completion record then shares the fate (and the
+        retention clock) of the request it completes.
+        """
+        member_id = self.component.member_id
+        if not request.expects_reply:
+            await self.send_durable(member_id, response)
+            self.trace.emit(
+                "response.sent",
+                request=response.request_id,
+                target=member_id,
+                self_ack=True,
+            )
+            return
+        reply_to = request.reply_to
+        if reply_to is None:
+            return
+        if self.config.completion_log:
+            await self._send_response_transactional(request, response)
+            return
+        while True:
+            await self.coordinator.wait_unpaused()
+            resolved_name = None
+            if self.is_live_member(reply_to):
+                target = reply_to
+            elif request.caller_actor is None:
+                # Root caller (external client) is gone: nobody to answer.
+                self.trace.emit(
+                    "response.dropped", request=response.request_id
+                )
+                return
+            else:
+                candidates = self.live_candidates(request.caller_actor.type)
+                if not candidates:
+                    await self.kernel.sleep(_PLACEMENT_RETRY_DELAY)
+                    continue
+                resolved_name = await self.placement.resolve(
+                    request.caller_actor, candidates
+                )
+                target = self.live_incarnation(resolved_name)
+                if target is None:
+                    self.placement.invalidate_components({resolved_name})
+                    continue
+            try:
+                await self.send_durable(target, response)
+            except StaleRouteError:
+                # The resolved target died while the send was in flight:
+                # drop the cached placement so the retry re-resolves instead
+                # of spinning on the dead entry.
+                if resolved_name is not None:
+                    self.placement.invalidate_components({resolved_name})
+                continue
+            self.trace.emit(
+                "response.sent",
+                request=response.request_id,
+                target=target,
+                error=response.error,
+                cancelled=response.cancelled,
+            )
+            return
+
+    def is_live_member(self, member_id: str) -> bool:
+        """Whether ``member_id`` itself (not merely its component name) is
+        still a group member -- the reply-to liveness check."""
+        return member_id in self.coordinator.members
+
+    async def _send_response_transactional(
+        self, request: "Request", response: "Response"
+    ) -> None:
+        """Completion-log mode (Section 4.3's future-work alternative):
+        one message-queue transaction atomically (1) sends the caller the
+        result and (2) logs the completion in this component's own queue.
+        The local completion record lets reconciliation discard this queue
+        eagerly on failure without ever re-running completed work."""
+        member = self.component.member
+        member_id = self.component.member_id
+        while True:
+            await self.coordinator.wait_unpaused()
+            resolved_name = None
+            reply_to = request.reply_to
+            if self.is_live_member(reply_to):
+                target = reply_to
+            elif request.caller_actor is None:
+                self.trace.emit("response.dropped", request=response.request_id)
+                # Still log the completion locally so the request is never
+                # retried for a caller that no longer exists.
+                await member.send(member_id, response)
+                return
+            else:
+                candidates = self.live_candidates(request.caller_actor.type)
+                if not candidates:
+                    await self.kernel.sleep(_PLACEMENT_RETRY_DELAY)
+                    continue
+                resolved_name = await self.placement.resolve(
+                    request.caller_actor, candidates
+                )
+                target = self.live_incarnation(resolved_name)
+                if target is None:
+                    self.placement.invalidate_components({resolved_name})
+                    continue
+            try:
+                await member.send_transaction(
+                    [(target, response), (member_id, response)]
+                )
+            except StaleRouteError:
+                if resolved_name is not None:
+                    self.placement.invalidate_components({resolved_name})
+                continue
+            self.trace.emit(
+                "response.sent",
+                request=response.request_id,
+                target=target,
+                completion_logged=True,
+            )
+            return

@@ -2,9 +2,10 @@
 
 Each :class:`Component` owns one message queue (its partition), a consumer
 loop that delivers responses to suspended callers and dispatches requests to
-per-actor mailboxes, and the send paths for requests and responses
-(Section 4.1). A component is one failure domain: killing it abandons every
-in-flight method execution, exactly like the formal failure rule.
+per-actor mailboxes, and a :class:`~repro.core.router.Router` transport that
+resolves placements and batches every outgoing envelope through a send
+outbox (Section 4.1). A component is one failure domain: killing it abandons
+every in-flight method execution, exactly like the formal failure rule.
 
 The retry-orchestration mechanics live here too:
 
@@ -33,17 +34,14 @@ from repro.core.actor import Actor
 from repro.core.context import ActorContext
 from repro.core.dispatcher import ActorMailbox
 from repro.core.envelope import Request, Response, TailCall
-from repro.core.errors import (
-    ActorMethodError,
-    InvocationCancelled,
-    NoPlacementError,
-)
+from repro.core.errors import ActorMethodError, InvocationCancelled
 from repro.core.placement import PlacementService
 from repro.core.refs import ActorRef
 from repro.core.retention import RetentionSet
+from repro.core.router import Router
 from repro.core.state import ActorStateCache
 from repro.kvstore import FencedClientError
-from repro.mq import FencedMemberError, GenerationInfo, StaleRouteError
+from repro.mq import FencedMemberError, GenerationInfo
 from repro.sim import SimProcess
 
 if TYPE_CHECKING:
@@ -52,11 +50,6 @@ if TYPE_CHECKING:
 __all__ = ["Component"]
 
 _FENCE_ERRORS = (FencedMemberError, FencedClientError)
-
-#: Delay before re-checking for a live component supporting an actor type
-#: ("KAR queues requests to unavailable types separately, revisiting this
-#: queue when new components are added", Section 4.3).
-_PLACEMENT_RETRY_DELAY = 0.25
 
 
 class Component:
@@ -78,6 +71,7 @@ class Component:
         self.member = None
         self.store_client = None
         self.placement: PlacementService | None = None
+        self.router = Router(self)
         self._instances: dict[ActorRef, Actor] = {}
         self._mailboxes: dict[ActorRef, ActorMailbox] = {}
         self._pending_calls: dict[str, Any] = {}
@@ -224,162 +218,13 @@ class Component:
         return response.value
 
     # ------------------------------------------------------------------
-    # routing
+    # routing (delegated to the transport layer; see repro.core.router)
     # ------------------------------------------------------------------
-    def _live_candidates(self, actor_type: str) -> list[str]:
-        names = {m.rsplit("#", 1)[0] for m in self.coordinator.members}
-        return sorted(
-            name
-            for name in names
-            if actor_type in self.app.component_types.get(name, frozenset())
-        )
-
-    def _live_incarnation(self, component_name: str) -> str | None:
-        for member_id in self.coordinator.members:
-            if member_id.rsplit("#", 1)[0] == component_name:
-                return member_id
-        return None
-
     async def _route_request(self, request: Request) -> None:
-        """Resolve placement and durably enqueue; retries stale routes."""
-        while True:
-            await self.coordinator.wait_unpaused()
-            candidates = self._live_candidates(request.actor.type)
-            if not candidates:
-                await self.kernel.sleep(_PLACEMENT_RETRY_DELAY)
-                continue
-            target_name = await self.placement.resolve(request.actor, candidates)
-            target_member = self._live_incarnation(target_name)
-            if target_member is None:
-                self.placement.invalidate_components({target_name})
-                continue
-            try:
-                await self.member.send(target_member, request)
-            except StaleRouteError:
-                self.placement.invalidate_components({target_name})
-                continue
-            self.trace.emit(
-                "request.sent",
-                request=request.request_id,
-                step=request.step,
-                actor=str(request.actor),
-                method=request.method,
-                target=target_member,
-                sender=self.member_id,
-            )
-            return
+        await self.router.route_request(request)
 
     async def _send_response(self, request: Request, response: Response) -> None:
-        """Route a response to the caller's queue; if the caller's component
-        died, follow the caller actor's (re-assigned) placement instead.
-
-        Tells self-acknowledge into the *executing* component's own queue
-        (Section 4.1): the completion record then shares the fate (and the
-        retention clock) of the request it completes.
-        """
-        if not request.expects_reply:
-            await self.member.send(self.member_id, response)
-            self.trace.emit(
-                "response.sent",
-                request=response.request_id,
-                target=self.member_id,
-                self_ack=True,
-            )
-            return
-        reply_to = request.reply_to
-        if reply_to is None:
-            return
-        if self.config.completion_log:
-            await self._send_response_transactional(request, response)
-            return
-        while True:
-            await self.coordinator.wait_unpaused()
-            resolved_name = None
-            if reply_to in self.coordinator.members:
-                target = reply_to
-            elif request.caller_actor is None:
-                # Root caller (external client) is gone: nobody to answer.
-                self.trace.emit(
-                    "response.dropped", request=response.request_id
-                )
-                return
-            else:
-                candidates = self._live_candidates(request.caller_actor.type)
-                if not candidates:
-                    await self.kernel.sleep(_PLACEMENT_RETRY_DELAY)
-                    continue
-                resolved_name = await self.placement.resolve(
-                    request.caller_actor, candidates
-                )
-                target = self._live_incarnation(resolved_name)
-                if target is None:
-                    self.placement.invalidate_components({resolved_name})
-                    continue
-            try:
-                await self.member.send(target, response)
-            except StaleRouteError:
-                # The resolved target died while the send was in flight:
-                # drop the cached placement (as _route_request does) so the
-                # retry re-resolves instead of spinning on the dead entry.
-                if resolved_name is not None:
-                    self.placement.invalidate_components({resolved_name})
-                continue
-            self.trace.emit(
-                "response.sent",
-                request=response.request_id,
-                target=target,
-                error=response.error,
-                cancelled=response.cancelled,
-            )
-            return
-
-    async def _send_response_transactional(
-        self, request: Request, response: Response
-    ) -> None:
-        """Completion-log mode (Section 4.3's future-work alternative):
-        one message-queue transaction atomically (1) sends the caller the
-        result and (2) logs the completion in this component's own queue.
-        The local completion record lets reconciliation discard this queue
-        eagerly on failure without ever re-running completed work."""
-        while True:
-            await self.coordinator.wait_unpaused()
-            resolved_name = None
-            reply_to = request.reply_to
-            if reply_to in self.coordinator.members:
-                target = reply_to
-            elif request.caller_actor is None:
-                self.trace.emit("response.dropped", request=response.request_id)
-                # Still log the completion locally so the request is never
-                # retried for a caller that no longer exists.
-                await self.member.send(self.member_id, response)
-                return
-            else:
-                candidates = self._live_candidates(request.caller_actor.type)
-                if not candidates:
-                    await self.kernel.sleep(_PLACEMENT_RETRY_DELAY)
-                    continue
-                resolved_name = await self.placement.resolve(
-                    request.caller_actor, candidates
-                )
-                target = self._live_incarnation(resolved_name)
-                if target is None:
-                    self.placement.invalidate_components({resolved_name})
-                    continue
-            try:
-                await self.member.send_transaction(
-                    [(target, response), (self.member_id, response)]
-                )
-            except StaleRouteError:
-                if resolved_name is not None:
-                    self.placement.invalidate_components({resolved_name})
-                continue
-            self.trace.emit(
-                "response.sent",
-                request=response.request_id,
-                target=target,
-                completion_logged=True,
-            )
-            return
+        await self.router.send_response(request, response)
 
     # ------------------------------------------------------------------
     # consumer
@@ -596,6 +441,7 @@ class Component:
         if self.member_id not in info.members:
             self._suicide()
             return
+        self.router.invalidate_membership()
         self._live_members = set(info.members)
         failed_names = {m.rsplit("#", 1)[0] for m in info.failed}
         if failed_names:

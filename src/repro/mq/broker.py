@@ -8,6 +8,7 @@ completed requests are left in place and later expired in bulk.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
@@ -119,12 +120,15 @@ class Topic:
 
     def snapshot_unexpired(self, now: float) -> list[Record]:
         """All retained records across partitions -- the reconciliation
-        leader's catalog of unexpired messages (Section 4.3)."""
-        records: list[Record] = []
-        for partition in self.partitions.values():
-            records.extend(partition.unexpired(now))
-        records.sort(key=lambda record: (record.timestamp, record.partition, record.offset))
-        return records
+        leader's catalog of unexpired messages (Section 4.3).
+
+        Each partition is append-ordered by timestamp already, so a k-way
+        merge produces the global order without re-sorting the whole
+        backlog (the backlog is the reconciliation-leader cost driver).
+        """
+        key = lambda record: (record.timestamp, record.partition, record.offset)  # noqa: E731
+        streams = [partition.unexpired(now) for partition in self.partitions.values()]
+        return list(heapq.merge(*streams, key=key))
 
 
 class Broker:
@@ -136,7 +140,10 @@ class Broker:
         self.topics: dict[str, Topic] = {}
         self._fenced: set[str] = set()
         self._append_waiters: dict[tuple[str, str], list] = {}
+        #: Produce round trips (one per produce / produce_batch call).
         self.produce_count = 0
+        #: Records appended, across all produce paths.
+        self.produce_record_count = 0
         self.consume_count = 0
 
     def topic(self, name: str) -> Topic:
@@ -182,10 +189,60 @@ class Broker:
         if guard is not None and not guard():
             raise MQError(f"append guard rejected {partition_name!r}")
         self.produce_count += 1
+        self.produce_record_count += 1
         partition = self.topic(topic_name).partition(partition_name)
         record = partition.append(value, self.kernel.now)
         self._wake_append_waiters(topic_name, partition_name)
         return record
+
+    async def produce_batch(
+        self,
+        topic_name: str,
+        entries: list[tuple[str, Any]],
+        client_id: str,
+        guards: dict[str, Any] | None = None,
+    ) -> list[Record | MQError]:
+        """Append several messages across partitions in ONE produce round
+        trip, with per-entry outcomes.
+
+        ``entries`` is a list of ``(partition_name, value)``; ``guards``
+        optionally maps a partition name to a zero-argument callable
+        evaluated atomically at append time (once per distinct partition).
+        The returned list is aligned with ``entries``: a :class:`Record`
+        for each appended message, or an :class:`MQError` for entries whose
+        partition guard rejected (those appended nothing; the rest of the
+        batch still lands). A fenced producer rejects the whole batch --
+        nothing is appended.
+        """
+        if not entries:
+            return []
+        await self.kernel.sleep(self.config.produce_latency.sample(self.kernel.rng))
+        if client_id in self._fenced:
+            raise FencedMemberError(client_id)
+        self.produce_count += 1
+        verdicts: dict[str, bool] = {}
+        outcomes: list[Record | MQError] = []
+        appended: set[str] = set()
+        topic = self.topic(topic_name)
+        for partition_name, value in entries:
+            allowed = verdicts.get(partition_name)
+            if allowed is None:
+                guard = None if guards is None else guards.get(partition_name)
+                allowed = guard is None or bool(guard())
+                verdicts[partition_name] = allowed
+            if not allowed:
+                outcomes.append(
+                    MQError(f"append guard rejected {partition_name!r}")
+                )
+                continue
+            self.produce_record_count += 1
+            outcomes.append(
+                topic.partition(partition_name).append(value, self.kernel.now)
+            )
+            appended.add(partition_name)
+        for partition_name in appended:
+            self._wake_append_waiters(topic_name, partition_name)
+        return outcomes
 
     def produce_internal(
         self, topic_name: str, partition_name: str, value: Any
@@ -193,6 +250,7 @@ class Broker:
         """Zero-latency append used by the broker-side reconciliation copy
         path (the leader batches copies; latency is charged separately)."""
         self.produce_count += 1
+        self.produce_record_count += 1
         partition = self.topic(topic_name).partition(partition_name)
         record = partition.append(value, self.kernel.now)
         self._wake_append_waiters(topic_name, partition_name)
@@ -220,6 +278,7 @@ class Broker:
         records = []
         for partition_name, value in entries:
             self.produce_count += 1
+            self.produce_record_count += 1
             partition = self.topic(topic_name).partition(partition_name)
             records.append(partition.append(value, self.kernel.now))
         for partition_name, _value in entries:
@@ -251,9 +310,6 @@ class Broker:
         self.consume_count += 1
         partition = self.topic(topic_name).partition(partition_name)
         return partition.read_from(offset, self.kernel.now, limit)
-
-    def notify_append(self, topic_name: str, partition_name: str) -> None:
-        """Hook point used by consumer wakeups (set by GroupCoordinator)."""
 
     def validate_partition_exists(self, topic_name: str, partition_name: str) -> None:
         if partition_name not in self.topic(topic_name).partitions:

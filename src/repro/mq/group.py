@@ -309,6 +309,36 @@ class GroupMember:
         except MQError:
             raise StaleRouteError(partition_name) from None
 
+    async def send_batch(
+        self, entries: list[tuple[str, Any]]
+    ) -> list[Record | StaleRouteError]:
+        """Durably append a batch of messages in one produce round trip.
+
+        ``entries`` is a list of ``(partition_name, value)``. The returned
+        list is aligned with ``entries``: the appended :class:`Record` on
+        success, or a :class:`StaleRouteError` for entries whose target
+        member left the group while the send was in flight (those appended
+        nothing and must be re-routed individually -- the rest of the batch
+        still landed). Guards are evaluated at append time, per partition.
+        A fenced sender raises :class:`FencedMemberError` for the whole
+        batch; nothing is appended.
+        """
+        await self.coordinator.wait_unpaused()
+        self._check_fenced()
+        guards = {
+            partition: (lambda p=partition: p in self.coordinator.members)
+            for partition, _value in entries
+        }
+        outcomes = await self.broker.produce_batch(
+            self.topic_name, entries, self.member_id, guards
+        )
+        return [
+            StaleRouteError(entries[index][0])
+            if isinstance(outcome, MQError)
+            else outcome
+            for index, outcome in enumerate(outcomes)
+        ]
+
     async def send_transaction(
         self, entries: list[tuple[str, Any]]
     ) -> list[Record]:

@@ -134,3 +134,79 @@ def test_replicas_share_load():
     w2 = len(app.components["w2"]._instances)
     assert w1 + w2 == 20
     assert w1 > 0 and w2 > 0  # crc32 spreads across replicas
+
+
+# ---------------------------------------------------------------------------
+# single-flight resolution: concurrent resolves share one store lookup
+# ---------------------------------------------------------------------------
+
+def test_concurrent_resolves_single_flight():
+    kernel = Kernel(seed=10)
+    store = KVStore(kernel, Latency.fixed(0.001))
+    service = PlacementService(store.client("a"))
+    ref = actor_proxy("T", "x")
+
+    tasks = [
+        kernel.spawn(service.resolve(ref, ["c1", "c2", "c3"]))
+        for _ in range(8)
+    ]
+    results = kernel.run_until_complete(kernel.gather(tasks), timeout=60.0)
+    assert len(set(results)) == 1
+    # One leader ran the GET+CAS; the other seven piggybacked.
+    assert service.store_resolutions == 1
+    assert service.shared_resolutions == 7
+    # One GET plus one CAS, not eight of each.
+    assert store.operation_count == 2
+    # The flight is over: nothing left in the single-flight table.
+    assert service._inflight == {}
+
+
+def test_single_flight_distinct_refs_do_not_share():
+    kernel = Kernel(seed=11)
+    store = KVStore(kernel, Latency.fixed(0.001))
+    service = PlacementService(store.client("a"))
+
+    tasks = [
+        kernel.spawn(service.resolve(actor_proxy("T", f"x{i}"), ["c1", "c2"]))
+        for i in range(3)
+    ]
+    kernel.run_until_complete(kernel.gather(tasks), timeout=60.0)
+    assert service.store_resolutions == 3
+    assert service.shared_resolutions == 0
+
+
+def test_single_flight_result_cached_for_followers():
+    kernel = Kernel(seed=12)
+    store = KVStore(kernel, Latency.fixed(0.001))
+    service = PlacementService(store.client("a"))
+    ref = actor_proxy("T", "y")
+
+    async def scenario():
+        first = kernel.spawn(service.resolve(ref, ["c1", "c2"]))
+        second = kernel.spawn(service.resolve(ref, ["c1", "c2"]))
+        results = [await first, await second]
+        # A later resolve is a pure cache hit (no new store traffic).
+        before = store.operation_count
+        third = await service.resolve(ref, ["c1", "c2"])
+        assert store.operation_count == before
+        return results + [third]
+
+    results = run(kernel, scenario())
+    assert len(set(results)) == 1
+
+
+def test_no_cache_disables_single_flight_sharing():
+    """The Table 2 'no cache' ablation pays full store cost per resolve:
+    concurrent resolutions must not piggyback on each other either."""
+    kernel = Kernel(seed=13)
+    store = KVStore(kernel, Latency.fixed(0.001))
+    service = PlacementService(store.client("a"), cache_enabled=False)
+    ref = actor_proxy("T", "z")
+
+    tasks = [
+        kernel.spawn(service.resolve(ref, ["c1", "c2"])) for _ in range(4)
+    ]
+    results = kernel.run_until_complete(kernel.gather(tasks), timeout=60.0)
+    assert len(set(results)) == 1
+    assert service.store_resolutions == 4
+    assert service.shared_resolutions == 0

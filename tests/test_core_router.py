@@ -1,0 +1,279 @@
+"""The batched transport layer: outbox coalescing, stale re-routing,
+tail-call atomicity and ordering under ``send_linger``, memoized routing
+tables, and single-flight placement inside a running application."""
+
+import pytest
+
+from repro.core import Actor, actor_proxy
+from repro.core.envelope import Response
+from repro.mq import StaleRouteError
+
+from helpers import Echo, Latch, make_app, run
+
+
+class Recorder(Actor):
+    """Accumulates tell payloads in arrival order."""
+
+    async def activate(self, ctx):
+        self.seen = []
+
+    async def note(self, ctx, value):
+        self.seen.append(value)
+
+    async def dump(self, ctx):
+        return list(self.seen)
+
+
+class Chainer(Actor):
+    async def first(self, ctx, v):
+        return ctx.tail_call(None, "second", v + 1)
+
+    async def second(self, ctx, v):
+        return v * 2
+
+
+def one_worker_app(seed, actor_class, **overrides):
+    kernel, app = make_app(seed, **overrides)
+    name = app.register_actor(actor_class)
+    app.add_component("w1", (name,))
+    app.client()
+    app.settle()
+    return kernel, app
+
+
+# ---------------------------------------------------------------------------
+# outbox coalescing under fan-in
+# ---------------------------------------------------------------------------
+
+def test_fan_in_coalesces_into_batched_round_trips():
+    kernel, app = one_worker_app(41, Echo, send_linger=0.002)
+    client = app.client()
+    before = app.broker.produce_count
+
+    async def caller(i):
+        ref = actor_proxy("Echo", f"a{i}")
+        return await client.invoke(None, ref, "echo", (i,), True)
+
+    tasks = [
+        kernel.spawn(caller(i), client.process, name=f"caller{i}")
+        for i in range(16)
+    ]
+    results = kernel.run_until_complete(kernel.gather(tasks), timeout=120.0)
+    assert results == list(range(16))
+    round_trips = app.broker.produce_count - before
+    # 16 requests + 16 responses = 32 records; far fewer round trips.
+    assert round_trips < 32 / 2
+    stats = app.transport_stats()
+    assert stats["largest_batch"] > 1
+    kernel.check_no_crashes()
+
+
+def test_zero_linger_coalesces_same_turn_sends_without_delay():
+    kernel, app = one_worker_app(42, Echo)  # send_linger defaults to 0.0
+    client = app.client()
+
+    async def caller(i):
+        return await client.invoke(
+            None, actor_proxy("Echo", f"b{i}"), "echo", (i,), True
+        )
+
+    tasks = [kernel.spawn(caller(i), client.process) for i in range(8)]
+    before = app.broker.produce_count
+    results = kernel.run_until_complete(kernel.gather(tasks), timeout=120.0)
+    assert results == list(range(8))
+    # Same-instant sends coalesce even with no linger at all.
+    assert app.broker.produce_count - before < 16
+    kernel.check_no_crashes()
+
+
+# ---------------------------------------------------------------------------
+# one stale destination inside a mixed batch
+# ---------------------------------------------------------------------------
+
+def test_stale_entry_in_mixed_batch_fails_only_itself():
+    kernel, app = one_worker_app(43, Echo, send_linger=0.01)
+    client = app.client()
+    router = client.router
+    worker_member = app.components["w1"].member_id
+
+    # Two envelopes in one batch: a live destination and a dead one. The
+    # batch must land the live entry and fail only the stale one.
+    live_future = router.send_durable(worker_member, Response("nobody-1"))
+    stale_future = router.send_durable("ghost#0", Response("nobody-2"))
+
+    async def waiter():
+        record = await live_future
+        with pytest.raises(StaleRouteError):
+            await stale_future
+        return record
+
+    record = run(kernel, waiter(), process=client.process)
+    assert record.partition == worker_member
+    assert router.largest_batch == 2
+    ghost = app.broker.topic(app.topic_name).partition("ghost#0")
+    assert len(ghost) == 0
+    kernel.check_no_crashes()
+
+
+def test_stale_response_is_rerouted_without_failing_the_batch():
+    """End to end: a response whose resolved target died mid-linger is
+    re-resolved and re-sent; concurrent traffic in the same batch lands."""
+    kernel, app = make_app(44, send_linger=0.001)
+    app.register_actor(Latch)
+    app.add_component("w1", ("Latch",))
+    app.add_component("w2", ("Latch",))
+    app.client()
+    app.settle()
+    # Place one actor per worker, then kill w2's host mid-conversation.
+    refs = [actor_proxy("Latch", f"x{i}") for i in range(12)]
+    for i, ref in enumerate(refs):
+        app.run_call(ref, "set", i)
+    hosts = {
+        name: [r for r in refs if r in app.components[name]._instances]
+        for name in ("w1", "w2")
+    }
+    assert hosts["w1"] and hosts["w2"]
+    app.kill_component("w2")
+    survivor = hosts["w1"][0]
+    # The surviving worker keeps answering during and after recovery.
+    assert app.run_call(survivor, "get", timeout=600.0) is not None
+    kernel.check_no_crashes()
+
+
+# ---------------------------------------------------------------------------
+# tail calls under batching
+# ---------------------------------------------------------------------------
+
+def test_tail_call_is_still_one_record_under_linger():
+    kernel, app = one_worker_app(45, Chainer, send_linger=0.005)
+    ref = actor_proxy("Chainer", "t")
+    records_before = app.broker.produce_record_count
+    assert app.run_call(ref, "first", 20) == 42
+    appended = app.broker.produce_record_count - records_before
+    # Exactly three records: the request, the tail successor (which
+    # atomically completes `first` while issuing `second`), the response.
+    assert appended == 3
+    tail_ends = app.trace.where("invoke.end", outcome="tail")
+    assert len(tail_ends) == 1
+    kernel.check_no_crashes()
+
+
+# ---------------------------------------------------------------------------
+# completion-log mode is unaffected by the outbox
+# ---------------------------------------------------------------------------
+
+def test_completion_log_still_transactional_with_linger():
+    kernel, app = one_worker_app(
+        46, Latch, completion_log=True, send_linger=0.005
+    )
+    ref = actor_proxy("Latch", "x")
+    app.run_call(ref, "set", 9)
+    assert app.run_call(ref, "get") == 9
+    member_id = app.components["w1"].member_id
+    partition = app.broker.topic(app.topic_name).partition(member_id)
+    local_responses = [
+        record.value
+        for record in partition.unexpired(kernel.now)
+        if isinstance(record.value, Response)
+    ]
+    # Each call's completion was logged in the executing component's own
+    # queue by the message-queue transaction, outbox or not.
+    assert len(local_responses) == 2
+    assert app.trace.where("response.sent", completion_logged=True)
+    kernel.check_no_crashes()
+
+
+# ---------------------------------------------------------------------------
+# ordering: linger never reorders two sends to the same partition
+# ---------------------------------------------------------------------------
+
+def test_linger_preserves_same_partition_send_order():
+    kernel, app = one_worker_app(47, Recorder, send_linger=0.01)
+    client = app.client()
+    router = client.router
+    worker_member = app.components["w1"].member_id
+
+    futures = [
+        router.send_durable(worker_member, Response(f"ord-{i}"))
+        for i in range(5)
+    ]
+
+    async def waiter():
+        return [await future for future in futures]
+
+    records = run(kernel, waiter(), process=client.process)
+    offsets = [record.offset for record in records]
+    assert offsets == sorted(offsets)  # FIFO per partition
+
+
+def test_linger_preserves_tell_order_end_to_end():
+    kernel, app = one_worker_app(48, Recorder, send_linger=0.002)
+    client = app.client()
+    ref = actor_proxy("Recorder", "r")
+
+    async def tell(i):
+        await client.invoke(None, ref, "note", (i,), False)
+
+    tasks = [
+        kernel.spawn(tell(i), client.process, name=f"tell{i}")
+        for i in range(6)
+    ]
+    kernel.run_until_complete(kernel.gather(tasks), timeout=120.0)
+    assert app.run_call(ref, "dump") == list(range(6))
+    kernel.check_no_crashes()
+
+
+# ---------------------------------------------------------------------------
+# ordering across overflowing batches (send_batch_max)
+# ---------------------------------------------------------------------------
+
+def test_batch_overflow_drains_fifo():
+    kernel, app = one_worker_app(49, Recorder, send_linger=0.01, send_batch_max=3)
+    client = app.client()
+    router = client.router
+    worker_member = app.components["w1"].member_id
+    futures = [
+        router.send_durable(worker_member, Response(f"ovf-{i}"))
+        for i in range(8)
+    ]
+
+    async def waiter():
+        return [await future for future in futures]
+
+    records = run(kernel, waiter(), process=client.process)
+    offsets = [record.offset for record in records]
+    assert offsets == sorted(offsets)
+    assert router.largest_batch == 3
+    assert router.batches_flushed >= 3
+
+
+# ---------------------------------------------------------------------------
+# memoized routing tables
+# ---------------------------------------------------------------------------
+
+def test_live_candidates_memoized_per_generation():
+    kernel, app = one_worker_app(50, Echo)
+    component = app.components["w1"]
+    first = component.router.live_candidates("Echo")
+    second = component.router.live_candidates("Echo")
+    assert first is second  # memoized within a generation
+    assert first == ["w1"]
+    generation = app.coordinator.generation
+    app.add_component("w2", ("Echo",))
+    app.settle()
+    assert app.coordinator.generation > generation
+    refreshed = component.router.live_candidates("Echo")
+    assert refreshed == ["w1", "w2"]
+    assert refreshed is not first
+
+
+def test_live_incarnation_memoized_and_refreshed():
+    kernel, app = one_worker_app(51, Echo)
+    component = app.components["w1"]
+    assert component.router.live_incarnation("w1") == component.member_id
+    assert component.router.live_incarnation("nope") is None
+    # Same generation: served from the memoized table.
+    table = component.router._incarnations
+    assert table is not None
+    assert component.router.live_incarnation("w1") == component.member_id
+    assert component.router._incarnations is table
