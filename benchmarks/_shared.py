@@ -11,12 +11,22 @@ minutes range.
 from __future__ import annotations
 
 import os
+import tempfile
 from functools import lru_cache
 from pathlib import Path
 
 from repro.bench import FailureCampaign
 
-RESULTS_DIR = Path(__file__).parent / "results"
+# Rendered tables are scratch output, not source: they default to a tmp
+# directory so benchmark runs never dirty the working tree. Set
+# REPRO_RESULTS_DIR to keep them somewhere inspectable (e.g. CI artifacts
+# or the gitignored benchmarks/results/).
+RESULTS_DIR = Path(
+    os.environ.get(
+        "REPRO_RESULTS_DIR",
+        Path(tempfile.gettempdir()) / "repro-bench-results",
+    )
+)
 
 FULL = os.environ.get("REPRO_SCALE", "quick").lower() == "full"
 
@@ -44,7 +54,7 @@ def paired_failure_campaign():
 
 
 def save_report(name: str, text: str) -> Path:
-    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / name
     path.write_text(text + "\n")
     return path

@@ -1,0 +1,149 @@
+"""CI benchmark-regression gate.
+
+Runs the quick-scale benchmark workloads directly (no pytest layer), writes
+the headline metrics to a JSON results file, and optionally compares them
+against a committed baseline. Every metric is produced by the deterministic
+simulation (seeded kernels, simulated time), so the numbers are exact and
+the gate cannot flake on runner noise; the 10% tolerance absorbs deliberate
+small trade-offs, not jitter.
+
+Usage::
+
+    python benchmarks/run_bench_regression.py --output BENCH_results.json
+    python benchmarks/run_bench_regression.py --check \
+        --baseline benchmarks/BENCH_baseline.json --output BENCH_results.json
+
+Gated metrics (higher = worse, fail above baseline * 1.10) cover the fan-in
+produce round trips and the lifecycle resident-footprint counts; the rest
+are informational and tracked through the uploaded artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+#: Metrics where an increase beyond the tolerance is a regression.
+GATED_HIGHER_IS_WORSE = (
+    "fanout_unbatched_round_trips",
+    "fanout_coalesce_round_trips",
+    "fanout_linger_round_trips",
+    "lifecycle_peak_instances",
+    "lifecycle_peak_mailboxes",
+    "lifecycle_peak_handled",
+    "lifecycle_peak_settled",
+)
+TOLERANCE = 0.10
+
+
+def collect_metrics() -> dict[str, float]:
+    import bench_durable_restart
+    import bench_lifecycle_churn
+    import bench_throughput_fanout
+
+    metrics: dict[str, float] = {}
+
+    print("running fan-in throughput workload ...", flush=True)
+    fanout_rows = {
+        row["label"]: row for row in bench_throughput_fanout.measure_all()
+    }
+    unbatched = fanout_rows["unbatched (batch_max=1)"]
+    coalesce = fanout_rows["coalesce (linger=0)"]
+    linger = fanout_rows["linger 2ms"]
+    metrics["fanout_unbatched_round_trips"] = unbatched["round_trips"]
+    metrics["fanout_coalesce_round_trips"] = coalesce["round_trips"]
+    metrics["fanout_linger_round_trips"] = linger["round_trips"]
+    metrics["fanout_linger_largest_batch"] = linger["largest_batch"]
+    metrics["fanout_linger_median_call_ms"] = round(linger["median_ms"], 4)
+    metrics["fanout_coalesce_median_call_ms"] = round(coalesce["median_ms"], 4)
+
+    print("running lifecycle churn workload ...", flush=True)
+    _app, worker, _client, samples = bench_lifecycle_churn.run_churn()
+    metrics["lifecycle_peak_instances"] = max(row[1] for row in samples)
+    metrics["lifecycle_peak_mailboxes"] = max(row[2] for row in samples)
+    metrics["lifecycle_peak_handled"] = max(row[3] for row in samples)
+    metrics["lifecycle_peak_settled"] = max(row[4] for row in samples)
+    metrics["lifecycle_passivations"] = worker.passivations
+
+    print("running durable cold-restart workload ...", flush=True)
+    restart_rows = {
+        row["mode"]: row for row in bench_durable_restart.measure_all()
+    }
+    sqlite_row = restart_rows["sqlite"]
+    metrics["restart_sqlite_replayed_records"] = sqlite_row["replayed_records"]
+    metrics["restart_sqlite_reconcile_copies"] = sqlite_row["reconcile_copies"]
+    metrics["restart_sqlite_recovery_seconds"] = round(
+        sqlite_row["recovery_seconds"], 4
+    )
+    metrics["restart_sqlite_unsettled_after"] = sqlite_row["unsettled_after"]
+    metrics["restart_sqlite_commit_deficit"] = (
+        sqlite_row["expected_total"] - sqlite_row["commit_total"]
+    )
+    return metrics
+
+
+def check(metrics: dict[str, float], baseline: dict[str, float]) -> list[str]:
+    failures = []
+    # Correctness invariants gate unconditionally: recovery must settle
+    # everything exactly once regardless of what the baseline recorded.
+    if metrics.get("restart_sqlite_unsettled_after", 0) != 0:
+        failures.append("cold restart left unsettled calls behind")
+    if metrics.get("restart_sqlite_commit_deficit", 0) != 0:
+        failures.append("cold restart lost or duplicated workflow commits")
+    for name in GATED_HIGHER_IS_WORSE:
+        if name not in baseline:
+            failures.append(f"baseline is missing gated metric {name!r}")
+            continue
+        limit = baseline[name] * (1.0 + TOLERANCE)
+        if metrics[name] > limit:
+            failures.append(
+                f"{name}: {metrics[name]} exceeds baseline "
+                f"{baseline[name]} by more than {TOLERANCE:.0%}"
+            )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_results.json")
+    parser.add_argument("--baseline", default="benchmarks/BENCH_baseline.json")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) if gated metrics regress vs the baseline",
+    )
+    args = parser.parse_args()
+
+    metrics = collect_metrics()
+    payload = {
+        "tolerance": TOLERANCE,
+        "gated": list(GATED_HIGHER_IS_WORSE),
+        "metrics": metrics,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}:")
+    print(json.dumps(metrics, indent=2))
+
+    if not args.check:
+        return 0
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"baseline {baseline_path} not found", file=sys.stderr)
+        return 1
+    baseline = json.loads(baseline_path.read_text())["metrics"]
+    failures = check(metrics, baseline)
+    if failures:
+        print("\nBENCHMARK REGRESSIONS:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nregression gate green (tolerance {TOLERANCE:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,6 +5,15 @@ broker, one Redis-like store, one consumer group per application) and the
 set of components, and offers the external-client call surface plus failure
 injection (kill / restart a component) used by tests and the benchmark
 harnesses.
+
+Persistence is pluggable (``KarConfig.persistence``): the store and the
+broker log can live in memory (the default) or in durable files. On top of
+that, the application supports a *cold restart*: :meth:`shutdown` abruptly
+kills every component and discards all in-memory runtime state, and
+:meth:`reopen` builds a brand-new application over the same backends --
+topics, offsets, group generation, component epochs, placements, and actor
+state all come back from the durable layer, and the first reconciliation
+drives every unsettled call to completion (Section 4.3 run from bytes).
 """
 
 from __future__ import annotations
@@ -13,17 +22,26 @@ from typing import Any
 
 from repro.core.actor import Actor, ActorRegistry
 from repro.core.config import KarConfig
+from repro.core.envelope import Request, Response
 from repro.core.refs import ActorRef
 from repro.core.runtime import Component
-from repro.kvstore import KVStore
-from repro.mq import Broker, GroupCoordinator
+from repro.kvstore import KVStore, StoreBackend
+from repro.mq import Broker, BrokerLog, GroupCoordinator
+from repro.persist import build_persistence, reopen_persistence, wipe_persistence
 from repro.sim import Kernel, TraceRecorder
 
 __all__ = ["KarApplication"]
 
 
 class _IdGenerator:
-    """Monotonic, deterministic request ids."""
+    """Monotonic, deterministic request ids, namespaced per boot.
+
+    A cold restart cannot recover the in-memory counter, so ids carry the
+    application's durable boot number instead: ids minted by different
+    boots can never collide with the (id, step) dedup evidence and the
+    response records still retained in the journals. The first boot keeps
+    the bare historical format.
+    """
 
     def __init__(self, prefix: str = "r"):
         self._prefix = prefix
@@ -42,23 +60,118 @@ class KarApplication:
         kernel: Kernel,
         config: KarConfig | None = None,
         name: str = "app",
+        *,
+        store_backend: StoreBackend | None = None,
+        broker_log: BrokerLog | None = None,
     ):
         self.kernel = kernel
         self.config = config or KarConfig()
         self.name = name
         self.topic_name = f"{name}-topic"
-        self.broker = Broker(kernel, self.config.broker)
-        self.store = KVStore(kernel, self.config.store_latency)
+        if store_backend is None and broker_log is None:
+            store_backend, broker_log = build_persistence(
+                self.config.persistence, name
+            )
+        if store_backend is None or broker_log is None:
+            raise ValueError(
+                "store_backend and broker_log must be given together"
+            )
+        self.broker = Broker(kernel, self.config.broker, log=broker_log)
+        self.store = KVStore(
+            kernel, self.config.store_latency, backend=store_backend
+        )
+        # Attach-to-service semantics: whatever the durable layer retains
+        # (nothing, for fresh backends) becomes this application's state.
+        self.restored_records = self.broker.restore_from_log()
+        self.boot = int(broker_log.get_meta(f"app:{name}:boot") or 0) + 1
+        broker_log.set_meta(f"app:{name}:boot", self.boot)
         self.coordinator = GroupCoordinator(self.broker, name, self.topic_name)
         self.registry = ActorRegistry()
         self.trace = TraceRecorder(kernel)
-        self.ids = _IdGenerator()
+        self.ids = _IdGenerator("r" if self.boot == 1 else f"r{self.boot}.")
         self.components: dict[str, Component] = {}
         self.component_types: dict[str, frozenset[str]] = {}
-        self._epochs: dict[str, int] = {}
+        self._epochs: dict[str, int] = self._restore_epochs()
         self._client: Component | None = None
+        self._shutdown = False
         self.reminders_in_use = False
         self.external_services: list[Any] = []
+
+    # ------------------------------------------------------------------
+    # persistence lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def fresh(
+        cls,
+        kernel: Kernel,
+        config: KarConfig | None = None,
+        name: str = "app",
+    ) -> "KarApplication":
+        """A guaranteed-clean application: any durable files left behind by
+        a previous run under the same name are deleted first."""
+        cfg = config or KarConfig()
+        wipe_persistence(cfg.persistence, name)
+        return cls(kernel, cfg, name)
+
+    def shutdown(self) -> None:
+        """Cold stop: abruptly kill every component and release backends.
+
+        Models the death of all application processes at once (a node or
+        datacenter restart). Nothing is flushed gracefully beyond what the
+        durable backends already acknowledged -- exactly the state a crash
+        would leave behind.
+        """
+        if self._shutdown:
+            return
+        self._shutdown = True
+        self.trace.emit("app.shutdown", name=self.name, boot=self.boot)
+        for component in self.components.values():
+            if component.alive:
+                component.process.kill()
+        self.coordinator.close()
+        self.broker.log.close()
+        self.store.backend.close()
+
+    def reopen(self) -> "KarApplication":
+        """Build the next boot of this application over the same durable
+        backends (shutting this one down first if still running).
+
+        Memory backends carry over as live objects; durable backends are
+        re-read from their files, as a brand-new process would. The caller
+        re-registers nothing (the actor registry is code, and carries
+        over) but must re-add components and :meth:`settle` -- the first
+        reconciliation then replays the journals, re-places stranded
+        requests, and completes every unsettled call.
+        """
+        self.shutdown()
+        store_backend, broker_log = reopen_persistence(
+            self.config.persistence, self.name, self.store.backend, self.broker.log
+        )
+        app = KarApplication(
+            self.kernel,
+            self.config,
+            self.name,
+            store_backend=store_backend,
+            broker_log=broker_log,
+        )
+        app.registry = self.registry
+        return app
+
+    def _restore_epochs(self) -> dict[str, int]:
+        """Component epochs from log metadata: a reopened application must
+        mint member ids strictly above every incarnation in the journal,
+        or a new component would adopt a dead predecessor's queue."""
+        prefix = f"app:{self.name}:epoch:"
+        return {
+            key[len(prefix):]: int(value)
+            for key, value in self.broker.log.meta_items().items()
+            if key.startswith(prefix)
+        }
+
+    def _record_epoch(self, component_name: str, epoch: int) -> None:
+        self.broker.log.set_meta(
+            f"app:{self.name}:epoch:{component_name}", epoch
+        )
 
     def register_external_service(self, service: Any) -> Any:
         """Register a stateful service actors interact with directly.
@@ -89,6 +202,7 @@ class KarApplication:
             raise ValueError(f"component {name!r} is already running")
         epoch = self._epochs.get(name, -1) + 1
         self._epochs[name] = epoch
+        self._record_epoch(name, epoch)
         component = Component(self, name, tuple(actor_types), epoch)
         self.components[name] = component
         self.component_types[name] = frozenset(actor_types)
@@ -110,6 +224,7 @@ class KarApplication:
             raise ValueError(f"component {name!r} is still alive")
         epoch = self._epochs[name] + 1
         self._epochs[name] = epoch
+        self._record_epoch(name, epoch)
         component = Component(self, name, types, epoch)
         self.components[name] = component
         return component.start()
@@ -172,4 +287,40 @@ class KarApplication:
             "largest_batch": max(
                 (r.largest_batch for r in routers), default=0
             ),
+        }
+
+    # ------------------------------------------------------------------
+    # durability evidence (cold-restart benchmarks and tests)
+    # ------------------------------------------------------------------
+    def unsettled_call_ids(self) -> list[str]:
+        """Request ids with a retained request record but no response.
+
+        This is the reconciliation leader's own pending-call criterion
+        (Section 4.3) applied to the current journals: after recovery has
+        run and the workload drained, it must be empty -- every in-flight
+        call at crash time was driven to a durable completion.
+        """
+        topic = self.broker.topics.get(self.topic_name)
+        if topic is None:
+            return []
+        requested: set[str] = set()
+        responded: set[str] = set()
+        for record in topic.snapshot_unexpired(self.kernel.now):
+            envelope = record.value
+            if isinstance(envelope, Response):
+                responded.add(envelope.request_id)
+            elif isinstance(envelope, Request):
+                requested.add(envelope.request_id)
+        return sorted(requested - responded)
+
+    def persistence_stats(self) -> dict[str, int]:
+        """Durable-layer counters: journal volume, compaction, replay."""
+        log = self.broker.log
+        return {
+            "boot": self.boot,
+            "records_logged": log.records_logged,
+            "records_retained": log.retained_records(),
+            "log_compactions": log.compactions,
+            "journal_rewrites": getattr(log, "rewrites", 0),
+            "restored_records": self.restored_records,
         }

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.mq import BrokerConfig
+from repro.persist import PersistenceConfig
 from repro.sim import Latency
 
 __all__ = ["KarConfig"]
@@ -26,6 +27,10 @@ class KarConfig:
 
     # --- persistence (simulated Redis) ------------------------------------
     store_latency: Latency = Latency.fixed(0.0005)
+    # Backend selection for the store and the broker log: in-memory by
+    # default, or durable files ("sqlite" store + JSONL broker journal)
+    # that survive a cold process restart and feed App.reopen recovery.
+    persistence: PersistenceConfig = field(default_factory=PersistenceConfig)
 
     # --- sidecar architecture ---------------------------------------------
     # One app<->runtime HTTP hop (Section 4.1: paired processes on one node).

@@ -145,10 +145,15 @@ class Reconciler:
             trace.emit("reconcile.superseded", generation=info.generation)
             return
 
-        for target_member, request in copies:
-            self.app.broker.produce_internal(
-                self.app.topic_name, target_member, request
+        # One batched internal produce per group: the copies (and the
+        # rebuilt unplaced queue) hit the broker log as a single journal
+        # write instead of one write+flush per stranded request.
+        if copies:
+            self.app.broker.produce_internal_batch(
+                self.app.topic_name,
+                [(target_member, request) for target_member, request in copies],
             )
+        for target_member, request in copies:
             trace.emit(
                 "reconcile.copy",
                 request=request.request_id,
@@ -159,10 +164,12 @@ class Reconciler:
 
         # Rebuild the unplaced queue from scratch (idempotent on restart).
         topic.drop_partition(UNPLACED_PARTITION)
-        for request in unplaced:
-            self.app.broker.produce_internal(
-                self.app.topic_name, UNPLACED_PARTITION, request
+        if unplaced:
+            self.app.broker.produce_internal_batch(
+                self.app.topic_name,
+                [(UNPLACED_PARTITION, request) for request in unplaced],
             )
+        for request in unplaced:
             trace.emit(
                 "reconcile.unplaced",
                 request=request.request_id,

@@ -269,35 +269,28 @@ class Router:
                 self_ack=True,
             )
             return
-        reply_to = request.reply_to
-        if reply_to is None:
+        if request.reply_to is None:
             return
         if self.config.completion_log:
             await self._send_response_transactional(request, response)
             return
         while True:
-            await self.coordinator.wait_unpaused()
-            resolved_name = None
-            if self.is_live_member(reply_to):
-                target = reply_to
-            elif request.caller_actor is None:
-                # Root caller (external client) is gone: nobody to answer.
+            target, resolved_name = await self._resolve_response_target(request)
+            if target is None:
+                # Root caller (external client) is gone: nobody to answer,
+                # but the completion evidence must still reach a journal.
+                # Self-acknowledge into the executing component's own queue
+                # (the tell discipline): reconciliation -- including one
+                # running after a cold restart, when per-component dedup
+                # evidence is gone -- then sees the request as settled and
+                # never re-runs it.
+                await self.send_durable(member_id, response)
                 self.trace.emit(
-                    "response.dropped", request=response.request_id
+                    "response.dropped",
+                    request=response.request_id,
+                    self_ack=True,
                 )
                 return
-            else:
-                candidates = self.live_candidates(request.caller_actor.type)
-                if not candidates:
-                    await self.kernel.sleep(_PLACEMENT_RETRY_DELAY)
-                    continue
-                resolved_name = await self.placement.resolve(
-                    request.caller_actor, candidates
-                )
-                target = self.live_incarnation(resolved_name)
-                if target is None:
-                    self.placement.invalidate_components({resolved_name})
-                    continue
             try:
                 await self.send_durable(target, response)
             except StaleRouteError:
@@ -321,6 +314,39 @@ class Router:
         still a group member -- the reply-to liveness check."""
         return member_id in self.coordinator.members
 
+    async def _resolve_response_target(
+        self, request: "Request"
+    ) -> tuple[str | None, str | None]:
+        """Where the response to ``request`` should go right now.
+
+        Returns ``(target_member, resolved_component_name)``. The caller's
+        own queue wins while its member incarnation is live; a dead
+        caller's *actor* is re-resolved through placement (the response
+        follows the re-assigned actor). ``(None, None)`` means the caller
+        was a root external client that no longer exists -- the response
+        has no destination and only its completion evidence matters. On a
+        stale-route send failure the caller invalidates
+        ``resolved_component_name`` and asks again.
+        """
+        while True:
+            await self.coordinator.wait_unpaused()
+            if self.is_live_member(request.reply_to):
+                return request.reply_to, None
+            if request.caller_actor is None:
+                return None, None
+            candidates = self.live_candidates(request.caller_actor.type)
+            if not candidates:
+                await self.kernel.sleep(_PLACEMENT_RETRY_DELAY)
+                continue
+            resolved_name = await self.placement.resolve(
+                request.caller_actor, candidates
+            )
+            target = self.live_incarnation(resolved_name)
+            if target is None:
+                self.placement.invalidate_components({resolved_name})
+                continue
+            return target, resolved_name
+
     async def _send_response_transactional(
         self, request: "Request", response: "Response"
     ) -> None:
@@ -332,29 +358,13 @@ class Router:
         member = self.component.member
         member_id = self.component.member_id
         while True:
-            await self.coordinator.wait_unpaused()
-            resolved_name = None
-            reply_to = request.reply_to
-            if self.is_live_member(reply_to):
-                target = reply_to
-            elif request.caller_actor is None:
+            target, resolved_name = await self._resolve_response_target(request)
+            if target is None:
                 self.trace.emit("response.dropped", request=response.request_id)
                 # Still log the completion locally so the request is never
                 # retried for a caller that no longer exists.
                 await member.send(member_id, response)
                 return
-            else:
-                candidates = self.live_candidates(request.caller_actor.type)
-                if not candidates:
-                    await self.kernel.sleep(_PLACEMENT_RETRY_DELAY)
-                    continue
-                resolved_name = await self.placement.resolve(
-                    request.caller_actor, candidates
-                )
-                target = self.live_incarnation(resolved_name)
-                if target is None:
-                    self.placement.invalidate_components({resolved_name})
-                    continue
             try:
                 await member.send_transaction(
                     [(target, response), (member_id, response)]

@@ -7,7 +7,20 @@ is deemed failed, the store refuses all further operations from it, so a
 lingering write from a dead component can never race a replacement.
 """
 
+from repro.kvstore.backend import (
+    MemoryStoreBackend,
+    SqliteStoreBackend,
+    StoreBackend,
+)
 from repro.kvstore.errors import FencedClientError, StoreError
 from repro.kvstore.store import KVStore, StoreClient
 
-__all__ = ["FencedClientError", "KVStore", "StoreClient", "StoreError"]
+__all__ = [
+    "FencedClientError",
+    "KVStore",
+    "MemoryStoreBackend",
+    "SqliteStoreBackend",
+    "StoreBackend",
+    "StoreClient",
+    "StoreError",
+]

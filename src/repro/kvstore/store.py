@@ -1,15 +1,23 @@
-"""In-memory simulated Redis with latency, CAS, hashes, and client fencing.
+"""Simulated Redis with latency, CAS, hashes, client fencing -- and
+pluggable storage.
 
 The store itself lives outside any application failure domain (the paper
 assumes the data store survives up to catastrophic failures, Section 3.3).
 Clients connect with an identity; fencing an identity makes every later
 operation from it fail, which implements forceful disconnection.
+
+The *service* behavior (round trips, fencing, operation accounting) lives
+here; the bytes live in a :class:`~repro.kvstore.backend.StoreBackend` --
+in-memory dicts by default, a WAL-mode SQLite file for durable runs. The
+fenced set is deliberately volatile service state: it guards against
+*lingering* clients, and no client outlives a cold restart.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
+from repro.kvstore.backend import MemoryStoreBackend, StoreBackend
 from repro.kvstore.errors import FencedClientError
 from repro.sim import Kernel, Latency
 
@@ -19,11 +27,15 @@ __all__ = ["KVStore", "StoreClient"]
 class KVStore:
     """The service: flat keys, hash keys, CAS, deterministic latency."""
 
-    def __init__(self, kernel: Kernel, latency: Latency = Latency.fixed(0.0005)):
+    def __init__(
+        self,
+        kernel: Kernel,
+        latency: Latency = Latency.fixed(0.0005),
+        backend: StoreBackend | None = None,
+    ):
         self.kernel = kernel
         self.latency = latency
-        self._data: dict[str, Any] = {}
-        self._hashes: dict[str, dict[str, Any]] = {}
+        self.backend = backend if backend is not None else MemoryStoreBackend()
         self._fenced: set[str] = set()
         self.operation_count = 0
 
@@ -53,51 +65,51 @@ class KVStore:
             raise FencedClientError(client_id)
 
     def _get(self, key: str) -> Any:
-        return self._data.get(key)
+        return self.backend.get(key)
 
     def _set(self, key: str, value: Any) -> None:
-        self._data[key] = value
+        self.backend.set(key, value)
 
     def _delete(self, key: str) -> bool:
-        return self._data.pop(key, None) is not None
+        return self.backend.delete(key)
 
     def _cas(self, key: str, expected: Any, value: Any) -> bool:
         """Atomically set ``key`` to ``value`` iff it currently equals
-        ``expected`` (``None`` meaning absent). Returns success."""
-        current = self._data.get(key)
+        ``expected`` (``None`` meaning absent). Returns success.
+
+        The read-compare-write runs inside one kernel event, so it is
+        atomic regardless of the backend engine.
+        """
+        current = self.backend.get(key)
         if current != expected:
             return False
-        self._data[key] = value
+        self.backend.set(key, value)
         return True
 
     def _hget(self, key: str, field: str) -> Any:
-        return self._hashes.get(key, {}).get(field)
+        return self.backend.hget(key, field)
 
     def _hset(self, key: str, field: str, value: Any) -> None:
-        self._hashes.setdefault(key, {})[field] = value
+        self.backend.hset(key, field, value)
 
     def _hset_many(self, key: str, mapping: dict[str, Any]) -> None:
-        self._hashes.setdefault(key, {}).update(mapping)
+        self.backend.hset_many(key, mapping)
 
     def _hget_many(self, key: str, fields: tuple[str, ...]) -> dict[str, Any]:
-        bucket = self._hashes.get(key, {})
-        return {field: bucket.get(field) for field in fields}
+        return self.backend.hget_many(key, fields)
 
     def _hgetall(self, key: str) -> dict[str, Any]:
-        return dict(self._hashes.get(key, {}))
+        return self.backend.hgetall(key)
 
     def _hdel(self, key: str, field: str) -> bool:
-        bucket = self._hashes.get(key)
-        if bucket is None:
-            return False
-        return bucket.pop(field, None) is not None
+        return self.backend.hdel(key, field)
 
     def _del_hash(self, key: str) -> bool:
-        return self._hashes.pop(key, None) is not None
+        return self.backend.delete_hash(key)
 
     def keys(self, prefix: str = "") -> list[str]:
         """Snapshot of flat keys with the given prefix (test/inspection)."""
-        return sorted(key for key in self._data if key.startswith(prefix))
+        return self.backend.keys(prefix)
 
 
 class StoreClient:
@@ -113,7 +125,8 @@ class StoreClient:
         self.client_id = client_id
 
     async def _round_trip(self) -> None:
-        await self.store.kernel.sleep(self.store.latency.sample(self.store.kernel.rng))
+        kernel = self.store.kernel
+        await kernel.sleep(self.store.latency.sample(kernel.rng))
 
     async def get(self, key: str) -> Any:
         await self._round_trip()

@@ -17,16 +17,20 @@ parts of Kafka the paper relies on:
 from repro.mq.broker import Broker, BrokerConfig, Topic
 from repro.mq.errors import FencedMemberError, MQError, StaleRouteError
 from repro.mq.group import GenerationInfo, GroupCoordinator, GroupMember
+from repro.mq.log import BrokerLog, FileJournalLog, MemoryBrokerLog
 from repro.mq.records import Record
 
 __all__ = [
     "Broker",
     "BrokerConfig",
+    "BrokerLog",
     "FencedMemberError",
+    "FileJournalLog",
     "GenerationInfo",
     "GroupCoordinator",
     "GroupMember",
     "MQError",
+    "MemoryBrokerLog",
     "Record",
     "StaleRouteError",
     "Topic",

@@ -4,6 +4,12 @@ One topic per application, one partition per application component
 (Section 4.1: "KAR's implementation allocates a dedicated message queue for
 each application component"). Partitions only support appending at the end;
 completed requests are left in place and later expired in bulk.
+
+Every partition mutation is mirrored into a pluggable
+:class:`~repro.mq.log.BrokerLog` (appends per produce round trip, prefix
+trims on retention expiry, drops on queue discard), and
+:meth:`Broker.restore_from_log` rebuilds topics and partitions from that
+log -- the journal-replay half of the paper's cold-restart recovery story.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable
 
 from repro.mq.errors import FencedMemberError, MQError
+from repro.mq.log import BrokerLog, MemoryBrokerLog
 from repro.mq.records import Record
 from repro.sim import Kernel, Latency
 
@@ -54,6 +61,13 @@ class Partition:
         self.first_retained_offset = 0
 
     def append(self, value: Any, timestamp: float) -> Record:
+        # Log-append-time is monotonic per partition (as in Kafka): after a
+        # cold replay onto a younger clock, new appends may not be stamped
+        # below the replayed suffix, or the append-order-implies-timestamp-
+        # order invariant (which snapshot_unexpired's k-way merge relies
+        # on) would break.
+        if self._records:
+            timestamp = max(timestamp, self._records[-1].timestamp)
         record = Record(self.name, self._next_offset, timestamp, value)
         self._next_offset += 1
         self._records.append(record)
@@ -62,6 +76,14 @@ class Partition:
     @property
     def end_offset(self) -> int:
         return self._next_offset
+
+    def restore(
+        self, records: list[Record], first_retained: int, next_offset: int
+    ) -> None:
+        """Adopt a replayed image (offset-indexed) from a broker log."""
+        self._records = list(records)
+        self.first_retained_offset = first_retained
+        self._next_offset = next_offset
 
     def expire(self, now: float) -> int:
         """Drop records older than retention; returns how many were dropped."""
@@ -79,9 +101,14 @@ class Partition:
         if keep_from:
             self.first_retained_offset = self._records[keep_from - 1].offset + 1
             del self._records[:keep_from]
+            self.topic.broker.log.compact(
+                self.topic.name, self.name, self.first_retained_offset
+            )
         return keep_from
 
-    def read_from(self, offset: int, now: float, limit: int | None = None) -> list[Record]:
+    def read_from(
+        self, offset: int, now: float, limit: int | None = None
+    ) -> list[Record]:
         """Records at offsets >= ``offset`` that are still retained."""
         self.expire(now)
         start = max(offset, self.first_retained_offset)
@@ -116,7 +143,8 @@ class Topic:
 
     def drop_partition(self, name: str) -> None:
         """Discard a failed component's queue after reconciliation (§4.3)."""
-        self.partitions.pop(name, None)
+        if self.partitions.pop(name, None) is not None:
+            self.broker.log.drop_partition(self.name, name)
 
     def snapshot_unexpired(self, now: float) -> list[Record]:
         """All retained records across partitions -- the reconciliation
@@ -126,7 +154,9 @@ class Topic:
         merge produces the global order without re-sorting the whole
         backlog (the backlog is the reconciliation-leader cost driver).
         """
-        key = lambda record: (record.timestamp, record.partition, record.offset)  # noqa: E731
+        def key(record: Record) -> tuple[float, str, int]:
+            return (record.timestamp, record.partition, record.offset)
+
         streams = [partition.unexpired(now) for partition in self.partitions.values()]
         return list(heapq.merge(*streams, key=key))
 
@@ -134,9 +164,15 @@ class Topic:
 class Broker:
     """The message service; survives application failures by assumption."""
 
-    def __init__(self, kernel: Kernel, config: BrokerConfig | None = None):
+    def __init__(
+        self,
+        kernel: Kernel,
+        config: BrokerConfig | None = None,
+        log: BrokerLog | None = None,
+    ):
         self.kernel = kernel
         self.config = config or BrokerConfig()
+        self.log = log if log is not None else MemoryBrokerLog()
         self.topics: dict[str, Topic] = {}
         self._fenced: set[str] = set()
         self._append_waiters: dict[tuple[str, str], list] = {}
@@ -145,6 +181,8 @@ class Broker:
         #: Records appended, across all produce paths.
         self.produce_record_count = 0
         self.consume_count = 0
+        #: Records adopted from the log by :meth:`restore_from_log`.
+        self.restored_record_count = 0
 
     def topic(self, name: str) -> Topic:
         topic = self.topics.get(name)
@@ -152,6 +190,23 @@ class Broker:
             topic = Topic(self, name)
             self.topics[name] = topic
         return topic
+
+    def restore_from_log(self) -> int:
+        """Rebuild topics and partitions from the log's retained image.
+
+        Called once on a freshly constructed broker (cold restart): every
+        partition comes back with its exact offsets, so consumers, dedup by
+        (request id, step), and retention expiry continue seamlessly.
+        Returns the number of records adopted.
+        """
+        restored = 0
+        for entry in self.log.replay():
+            topic_name, partition_name, first, next_offset, records = entry
+            partition = self.topic(topic_name).partition(partition_name)
+            partition.restore(records, first, next_offset)
+            restored += len(records)
+        self.restored_record_count += restored
+        return restored
 
     # ------------------------------------------------------------------
     # fencing (forceful disconnection)
@@ -168,6 +223,26 @@ class Broker:
     # ------------------------------------------------------------------
     # produce / consume primitives
     # ------------------------------------------------------------------
+    def _journal_append(self, topic_name: str, records: list[Record]) -> None:
+        """Mirror freshly appended records into the log.
+
+        If the log refuses the batch (an unencodable payload on a durable
+        backend), the partition appends are rolled back before the error
+        propagates: the producer sees a failed send and nothing -- neither
+        the in-memory broker nor the journal -- retains the records.
+        """
+        try:
+            self.log.append_many(topic_name, records)
+        except Exception:
+            topic = self.topic(topic_name)
+            for record in reversed(records):
+                partition = topic.partition(record.partition)
+                if partition._records and partition._records[-1] is record:
+                    partition._records.pop()
+                    partition._next_offset = record.offset
+            self.produce_record_count -= len(records)
+            raise
+
     async def produce(
         self,
         topic_name: str,
@@ -192,6 +267,7 @@ class Broker:
         self.produce_record_count += 1
         partition = self.topic(topic_name).partition(partition_name)
         record = partition.append(value, self.kernel.now)
+        self._journal_append(topic_name, [record])
         self._wake_append_waiters(topic_name, partition_name)
         return record
 
@@ -223,6 +299,7 @@ class Broker:
         verdicts: dict[str, bool] = {}
         outcomes: list[Record | MQError] = []
         appended: set[str] = set()
+        batch_records: list[Record] = []
         topic = self.topic(topic_name)
         for partition_name, value in entries:
             allowed = verdicts.get(partition_name)
@@ -231,30 +308,39 @@ class Broker:
                 allowed = guard is None or bool(guard())
                 verdicts[partition_name] = allowed
             if not allowed:
-                outcomes.append(
-                    MQError(f"append guard rejected {partition_name!r}")
-                )
+                outcomes.append(MQError(f"append guard rejected {partition_name!r}"))
                 continue
             self.produce_record_count += 1
-            outcomes.append(
-                topic.partition(partition_name).append(value, self.kernel.now)
-            )
+            record = topic.partition(partition_name).append(value, self.kernel.now)
+            outcomes.append(record)
+            batch_records.append(record)
             appended.add(partition_name)
+        if batch_records:
+            # One journal write covers the whole produce round trip.
+            self._journal_append(topic_name, batch_records)
         for partition_name in appended:
             self._wake_append_waiters(topic_name, partition_name)
         return outcomes
 
-    def produce_internal(
-        self, topic_name: str, partition_name: str, value: Any
-    ) -> Record:
-        """Zero-latency append used by the broker-side reconciliation copy
-        path (the leader batches copies; latency is charged separately)."""
+    def produce_internal_batch(
+        self, topic_name: str, entries: list[tuple[str, Any]]
+    ) -> list[Record]:
+        """Zero-latency batched append for broker-side copies: the whole
+        batch is journaled (and, on durable logs, flushed) in one write,
+        so recovery I/O does not scale per stranded request."""
         self.produce_count += 1
-        self.produce_record_count += 1
-        partition = self.topic(topic_name).partition(partition_name)
-        record = partition.append(value, self.kernel.now)
-        self._wake_append_waiters(topic_name, partition_name)
-        return record
+        topic = self.topic(topic_name)
+        records = []
+        for partition_name, value in entries:
+            self.produce_record_count += 1
+            records.append(
+                topic.partition(partition_name).append(value, self.kernel.now)
+            )
+        if records:
+            self._journal_append(topic_name, records)
+        for partition_name in {partition for partition, _value in entries}:
+            self._wake_append_waiters(topic_name, partition_name)
+        return records
 
     async def produce_transaction(
         self,
@@ -281,6 +367,8 @@ class Broker:
             self.produce_record_count += 1
             partition = self.topic(topic_name).partition(partition_name)
             records.append(partition.append(value, self.kernel.now))
+        if records:
+            self._journal_append(topic_name, records)
         for partition_name, _value in entries:
             self._wake_append_waiters(topic_name, partition_name)
         return records

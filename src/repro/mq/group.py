@@ -17,7 +17,7 @@ This module implements the failure-detection machinery of Section 4.2/4.3:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.mq.broker import Broker
@@ -72,8 +72,12 @@ class GroupCoordinator:
         self.group_id = group_id
         self.topic_name = topic_name
         self.members: dict[str, _MemberState] = {}
-        self.generation = 0
+        # Generations survive the application: a coordinator rebuilt over a
+        # durable broker log resumes numbering where the old group stopped,
+        # so recovery-copy epochs stay monotonic across cold restarts.
+        self.generation = int(broker.log.get_meta(f"group:{group_id}:generation") or 0)
         self.paused = False
+        self._closed = False
         self.history: list[GenerationRecord] = []
         self._generation_listeners: list[Callable[[GenerationInfo], None]] = []
         self._resume_waiters: list[SimFuture] = []
@@ -87,8 +91,19 @@ class GroupCoordinator:
     # ------------------------------------------------------------------
     # membership
     # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the watchdog and refuse new members (application shutdown).
+
+        The group object is being discarded together with the rest of the
+        application's in-memory state; a reopened application builds a new
+        coordinator over the same broker log.
+        """
+        self._closed = True
+
     def join(self, member_id: str, process: SimProcess | None = None) -> "GroupMember":
         """Add a member; starts its heartbeat task and triggers a rebalance."""
+        if self._closed:
+            raise MQError(f"group {self.group_id!r} coordinator is closed")
         if member_id in self.members:
             raise ValueError(f"duplicate member id {member_id!r}")
         if self.broker.is_fenced(member_id):
@@ -145,8 +160,10 @@ class GroupCoordinator:
 
     async def _watchdog_loop(self) -> None:
         config = self.broker.config
-        while True:
+        while not self._closed:
             await self.kernel.sleep(config.watchdog_interval)
+            if self._closed:
+                return
             now = self.kernel.now
             expired = [
                 state.member_id
@@ -185,13 +202,22 @@ class GroupCoordinator:
             )
             if not self._dirty:
                 break
+        if self._closed:
+            return
         self.generation += 1
+        self.broker.log.set_meta(f"group:{self.group_id}:generation", self.generation)
         current = set(self.members)
         failed = tuple(sorted(self._last_membership - current))
         joined = tuple(sorted(current - self._last_membership))
         self._last_membership = current
-        reason = "failure" if "failure" in self._reasons else (self._reasons[0] if self._reasons else "join")
-        triggered_at = self._trigger_time if self._trigger_time is not None else self.kernel.now
+        if "failure" in self._reasons:
+            reason = "failure"
+        else:
+            reason = self._reasons[0] if self._reasons else "join"
+        if self._trigger_time is not None:
+            triggered_at = self._trigger_time
+        else:
+            triggered_at = self.kernel.now
         info = GenerationInfo(
             generation=self.generation,
             members=self.live_members,
@@ -339,9 +365,7 @@ class GroupMember:
             for index, outcome in enumerate(outcomes)
         ]
 
-    async def send_transaction(
-        self, entries: list[tuple[str, Any]]
-    ) -> list[Record]:
+    async def send_transaction(self, entries: list[tuple[str, Any]]) -> list[Record]:
         """Atomically append to several queues (see produce_transaction)."""
         await self.coordinator.wait_unpaused()
         self._check_fenced()

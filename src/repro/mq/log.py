@@ -1,0 +1,372 @@
+"""Broker logs: the durable side of the append-only partitions.
+
+The broker's partitions are the paper's journals -- calls, responses, and
+tail-call supersessions all live there, and recovery is nothing but a replay
+of what they retain (Section 4.3). A :class:`BrokerLog` is the storage
+engine behind them:
+
+- :class:`MemoryBrokerLog` keeps a per-partition image of retained records
+  in memory. It survives an application ``shutdown``/``reopen`` as a live
+  object (the message service outliving the app), not a process death.
+- :class:`FileJournalLog` additionally appends one JSONL line per record to
+  a journal file, with retention expiry recorded as compaction markers and
+  the whole file rewritten once enough expired records accumulate
+  (retention-driven compaction). Replay is offset-indexed: lines carry
+  explicit offsets, so a cold restart reconstructs every partition's
+  ``first_retained_offset`` / ``end_offset`` exactly.
+
+The log also stores a small metadata map (group generation, component
+epochs, boot counter) that must outlive the application processes but does
+not belong in any partition.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterator
+
+from repro.mq.records import Record
+from repro.persist import codec
+
+__all__ = ["BrokerLog", "FileJournalLog", "MemoryBrokerLog"]
+
+
+class _PartitionImage:
+    """Retained records plus offset bounds for one partition."""
+
+    __slots__ = ("records", "first_retained_offset", "next_offset")
+
+    def __init__(self) -> None:
+        self.records: list[Record] = []
+        self.first_retained_offset = 0
+        self.next_offset = 0
+
+
+class BrokerLog:
+    """In-memory partition image; subclasses add durability underneath.
+
+    Every mutation the broker performs on a partition is mirrored here:
+    ``append_many`` after each produce round trip, ``compact`` when
+    retention expiry trims a prefix, ``drop_partition`` when a dead queue
+    is discarded. ``replay`` hands the image back so a rebuilt broker can
+    reconstruct its topics.
+    """
+
+    def __init__(self) -> None:
+        self._parts: dict[tuple[str, str], _PartitionImage] = {}
+        self._meta: dict[str, Any] = {}
+        #: Records accepted across the log's lifetime (evidence counter).
+        self.records_logged = 0
+        #: Prefix-trim operations applied (retention compactions).
+        self.compactions = 0
+
+    # ------------------------------------------------------------------
+    # record image
+    # ------------------------------------------------------------------
+    def _part(self, topic: str, partition: str) -> _PartitionImage:
+        image = self._parts.get((topic, partition))
+        if image is None:
+            image = self._parts[(topic, partition)] = _PartitionImage()
+        return image
+
+    def append_many(self, topic: str, records: list[Record]) -> None:
+        """Mirror freshly appended records (one produce round trip).
+
+        Durability first: the image only mutates once the persistence hook
+        accepted the batch, so a failed write (encoding, disk) leaves the
+        log image agreeing with the file and the broker free to roll its
+        partitions back.
+        """
+        self._persist_append(topic, records)
+        for record in records:
+            image = self._part(topic, record.partition)
+            image.records.append(record)
+            image.next_offset = record.offset + 1
+            self.records_logged += 1
+
+    def compact(self, topic: str, partition: str, keep_from: int) -> None:
+        """Retention expired every record below offset ``keep_from``."""
+        image = self._parts.get((topic, partition))
+        if image is None or keep_from <= image.first_retained_offset:
+            return
+        drop = keep_from - image.first_retained_offset
+        del image.records[:drop]
+        image.first_retained_offset = keep_from
+        image.next_offset = max(image.next_offset, keep_from)
+        self.compactions += 1
+        self._persist_compact(topic, partition, keep_from)
+
+    def drop_partition(self, topic: str, partition: str) -> None:
+        if self._parts.pop((topic, partition), None) is not None:
+            self._persist_drop(topic, partition)
+
+    def replay(self) -> Iterator[tuple[str, str, int, int, list[Record]]]:
+        """Yield ``(topic, partition, first_retained, next_offset, records)``
+        for every partition the log retains."""
+        for (topic, partition), image in sorted(self._parts.items()):
+            yield (
+                topic,
+                partition,
+                image.first_retained_offset,
+                image.next_offset,
+                list(image.records),
+            )
+
+    def retained_records(self) -> int:
+        return sum(len(image.records) for image in self._parts.values())
+
+    # ------------------------------------------------------------------
+    # metadata (group generation, epochs, boot counter)
+    # ------------------------------------------------------------------
+    def get_meta(self, key: str) -> Any:
+        return self._meta.get(key)
+
+    def set_meta(self, key: str, value: Any) -> None:
+        self._meta[key] = value
+        self._persist_meta()
+
+    def meta_items(self) -> dict[str, Any]:
+        return dict(self._meta)
+
+    # ------------------------------------------------------------------
+    # durability hooks (no-ops in memory)
+    # ------------------------------------------------------------------
+    def _persist_append(self, topic: str, records: list[Record]) -> None:
+        pass
+
+    def _persist_compact(self, topic: str, partition: str, keep_from: int) -> None:
+        pass
+
+    def _persist_drop(self, topic: str, partition: str) -> None:
+        pass
+
+    def _persist_meta(self) -> None:
+        pass
+
+    def flush(self) -> None:
+        """Durability barrier: persist everything accepted so far."""
+
+    def close(self) -> None:
+        """Release file handles; logged data must remain recoverable."""
+
+
+class MemoryBrokerLog(BrokerLog):
+    """The image alone: durable across app restarts, not process death."""
+
+
+class FileJournalLog(BrokerLog):
+    """JSONL append journal with offset-indexed replay and compaction.
+
+    Line shapes::
+
+        {"k":"r","t":topic,"p":partition,"o":offset,"ts":time,"v":wire}
+        {"k":"c","t":topic,"p":partition,"keep":offset}      # compaction
+        {"k":"d","t":topic,"p":partition}                     # drop
+        {"k":"s","t":topic,"p":partition,"first":o,"next":o}  # bounds
+
+    Metadata lives beside the journal in ``<journal>.meta.json``, rewritten
+    atomically (it is tiny and changes only on rebalances and deploys).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        fsync: bool = False,
+        compact_min_records: int = 4096,
+        compact_ratio: float = 0.5,
+    ):
+        super().__init__()
+        self.path = path
+        self.meta_path = path + ".meta.json"
+        self._fsync = fsync
+        self._compact_min_records = compact_min_records
+        self._compact_ratio = compact_ratio
+        #: Record lines sitting in the file since the last rewrite.
+        self._disk_records = 0
+        #: Pre-encoded lines for the append in progress (see append_many).
+        self._staged_lines: list[str] | None = None
+        #: Full-file rewrites performed (the compaction evidence counter).
+        self.rewrites = 0
+        self._load()
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # replaying an existing journal
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        if os.path.exists(self.meta_path):
+            with open(self.meta_path, "r", encoding="utf-8") as handle:
+                self._meta = json.load(handle)
+        if not os.path.exists(self.path):
+            return
+        good_end = 0  # byte offset past the last fully decoded line
+        with open(self.path, "rb") as handle:
+            raw_lines = handle.readlines()
+        for index, raw in enumerate(raw_lines):
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                good_end += len(raw)
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                # A torn final line is the normal residue of a crash
+                # mid-write (the record it carried was never acknowledged):
+                # truncate it away and recover. A torn line *followed by
+                # intact ones* is real corruption -- refuse to guess.
+                if any(raw.strip() for raw in raw_lines[index + 1 :]):
+                    raise ValueError(
+                        f"corrupt journal line {index + 1} in {self.path!r}"
+                    ) from None
+                with open(self.path, "rb+") as handle:
+                    handle.truncate(good_end)
+                break
+            good_end += len(raw)
+            kind = entry["k"]
+            if kind == "r":
+                image = self._part(entry["t"], entry["p"])
+                record = Record(
+                    entry["p"],
+                    entry["o"],
+                    entry["ts"],
+                    codec.from_wire(entry["v"]),
+                )
+                image.records.append(record)
+                image.next_offset = record.offset + 1
+                self._disk_records += 1
+            elif kind == "c":
+                image = self._part(entry["t"], entry["p"])
+                keep = entry["keep"]
+                drop = keep - image.first_retained_offset
+                if drop > 0:
+                    del image.records[:drop]
+                    image.first_retained_offset = keep
+                    image.next_offset = max(image.next_offset, keep)
+            elif kind == "d":
+                self._parts.pop((entry["t"], entry["p"]), None)
+            elif kind == "s":
+                image = self._part(entry["t"], entry["p"])
+                image.first_retained_offset = entry["first"]
+                image.next_offset = entry["next"]
+            else:
+                raise ValueError(f"unknown journal line kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    # durability hooks
+    # ------------------------------------------------------------------
+    def append_many(self, topic: str, records: list[Record]) -> None:
+        # Encode *before* the in-memory image mutates: an unencodable
+        # payload must fail the append cleanly, leaving image and file
+        # agreeing (the broker then rolls back its partitions too).
+        self._staged_lines = [self._record_line(topic, r) for r in records]
+        try:
+            super().append_many(topic, records)
+        finally:
+            self._staged_lines = None
+
+    @staticmethod
+    def _record_line(topic: str, record: Record) -> str:
+        return json.dumps(
+            {
+                "k": "r",
+                "t": topic,
+                "p": record.partition,
+                "o": record.offset,
+                "ts": record.timestamp,
+                "v": codec.to_wire(record.value),
+            },
+            separators=(",", ":"),
+        )
+
+    def _persist_append(self, topic: str, records: list[Record]) -> None:
+        # One write + flush per produce round trip: the batched-produce
+        # path journals a whole batch in a single I/O burst.
+        lines = self._staged_lines
+        assert lines is not None and len(lines) == len(records)
+        self._file.write("\n".join(lines) + "\n")
+        self._flush_file()
+        self._disk_records += len(records)
+
+    def _persist_compact(self, topic: str, partition: str, keep_from: int) -> None:
+        self._file.write(
+            json.dumps(
+                {"k": "c", "t": topic, "p": partition, "keep": keep_from},
+                separators=(",", ":"),
+            )
+            + "\n"
+        )
+        self._flush_file()
+        self._maybe_rewrite()
+
+    def _persist_drop(self, topic: str, partition: str) -> None:
+        self._file.write(
+            json.dumps({"k": "d", "t": topic, "p": partition}, separators=(",", ":"))
+            + "\n"
+        )
+        self._flush_file()
+        self._maybe_rewrite()
+
+    def _persist_meta(self) -> None:
+        tmp_path = self.meta_path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(self._meta, handle, separators=(",", ":"))
+            handle.flush()
+            if self._fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_path, self.meta_path)
+
+    def _flush_file(self) -> None:
+        self._file.flush()
+        if self._fsync:
+            os.fsync(self._file.fileno())
+
+    # ------------------------------------------------------------------
+    # retention-driven journal rewrite
+    # ------------------------------------------------------------------
+    def _maybe_rewrite(self) -> None:
+        live = self.retained_records()
+        dead = self._disk_records - live
+        if dead < self._compact_min_records:
+            return
+        if self._disk_records and live > self._compact_ratio * self._disk_records:
+            return
+        self.rewrite()
+
+    def rewrite(self) -> None:
+        """Rewrite the journal with only the retained image (in place)."""
+        tmp_path = self.path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            for (topic, partition), image in sorted(self._parts.items()):
+                handle.write(
+                    json.dumps(
+                        {
+                            "k": "s",
+                            "t": topic,
+                            "p": partition,
+                            "first": image.first_retained_offset,
+                            "next": image.next_offset,
+                        },
+                        separators=(",", ":"),
+                    )
+                    + "\n"
+                )
+                for record in image.records:
+                    handle.write(self._record_line(topic, record) + "\n")
+            handle.flush()
+            if self._fsync:
+                os.fsync(handle.fileno())
+        self._file.close()
+        os.replace(tmp_path, self.path)
+        self._file = open(self.path, "a", encoding="utf-8")
+        self._disk_records = self.retained_records()
+        self.rewrites += 1
+
+    def flush(self) -> None:
+        self._flush_file()
+
+    def close(self) -> None:
+        if self._file.closed:
+            return
+        self._flush_file()
+        self._file.close()

@@ -8,9 +8,14 @@ from typing import Any
 __all__ = ["Record"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Record:
-    """One message at a fixed offset within a partition."""
+    """One message at a fixed offset within a partition.
+
+    Slotted: long retention windows keep millions of records resident (in
+    partitions, the broker log image, and reconciliation catalogs), so the
+    per-record footprint matters.
+    """
 
     partition: str
     offset: int

@@ -1,0 +1,127 @@
+"""Wire codec for durable persistence backends.
+
+Durable backends (the SQLite store, the broker file journal) cannot hold
+Python object references: everything they accept must survive a process
+death and be reconstructed from bytes. This codec maps the values the
+runtime actually persists -- envelopes (frozen dataclasses), actor refs,
+tuples, dicts, JSON scalars -- onto a tagged JSON structure:
+
+- scalars and lists pass through untouched;
+- tuples, non-string-keyed dicts, and dataclasses are wrapped in a
+  ``{"__kar__": kind, ...}`` marker object;
+- dataclasses round-trip by import path (``module:qualname``), so decoding
+  never needs a registry and the codec stays import-cycle-free;
+- anything else falls back to a base64-wrapped pickle, keeping exotic
+  application payloads durable at the cost of human readability.
+
+The JSON-first encoding keeps journals greppable: one line per record, with
+request ids, methods, and arguments in the clear.
+"""
+
+from __future__ import annotations
+
+import base64
+import importlib
+import json
+import pickle
+from dataclasses import fields, is_dataclass
+from typing import Any
+
+__all__ = ["CodecError", "dumps", "from_wire", "loads", "to_wire"]
+
+_TAG = "__kar__"
+
+
+class CodecError(ValueError):
+    """A value could not be encoded or decoded for durable storage."""
+
+
+def to_wire(value: Any) -> Any:
+    """Encode ``value`` into a JSON-serializable structure."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        return [to_wire(item) for item in value]
+    if isinstance(value, tuple):
+        return {_TAG: "tuple", "items": [to_wire(item) for item in value]}
+    if isinstance(value, dict):
+        if all(isinstance(key, str) for key in value) and _TAG not in value:
+            return {key: to_wire(item) for key, item in value.items()}
+        return {
+            _TAG: "map",
+            "items": [[to_wire(key), to_wire(item)] for key, item in value.items()],
+        }
+    if isinstance(value, (set, frozenset)):
+        kind = "set" if isinstance(value, set) else "frozenset"
+        try:
+            items = sorted(value)  # type: ignore[type-var]
+        except TypeError:
+            items = list(value)
+        return {_TAG: kind, "items": [to_wire(item) for item in items]}
+    if is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        return {
+            _TAG: "dc",
+            "type": f"{cls.__module__}:{cls.__qualname__}",
+            "fields": {f.name: to_wire(getattr(value, f.name)) for f in fields(value)},
+        }
+    return _pickle_wire(value)
+
+
+def from_wire(value: Any) -> Any:
+    """Decode a structure produced by :func:`to_wire`."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        return [from_wire(item) for item in value]
+    if isinstance(value, dict):
+        kind = value.get(_TAG)
+        if kind is None:
+            return {key: from_wire(item) for key, item in value.items()}
+        if kind == "tuple":
+            return tuple(from_wire(item) for item in value["items"])
+        if kind == "map":
+            return {from_wire(key): from_wire(item) for key, item in value["items"]}
+        if kind == "set":
+            return {from_wire(item) for item in value["items"]}
+        if kind == "frozenset":
+            return frozenset(from_wire(item) for item in value["items"])
+        if kind == "dc":
+            cls = _resolve_type(value["type"])
+            decoded = {name: from_wire(item) for name, item in value["fields"].items()}
+            return cls(**decoded)
+        if kind == "pickle":
+            return pickle.loads(base64.b64decode(value["data"]))
+        raise CodecError(f"unknown wire tag {kind!r}")
+    raise CodecError(f"undecodable wire value of type {type(value).__name__}")
+
+
+def dumps(value: Any) -> str:
+    """Serialize ``value`` to a compact one-line JSON string."""
+    return json.dumps(to_wire(value), separators=(",", ":"), sort_keys=False)
+
+
+def loads(text: str) -> Any:
+    """Inverse of :func:`dumps`."""
+    return from_wire(json.loads(text))
+
+
+def _pickle_wire(value: Any) -> dict[str, str]:
+    try:
+        payload = pickle.dumps(value)
+    except Exception as error:  # noqa: BLE001 - report the offending value
+        raise CodecError(
+            f"value of type {type(value).__name__} is not durable: {error}"
+        ) from error
+    return {_TAG: "pickle", "data": base64.b64encode(payload).decode("ascii")}
+
+
+def _resolve_type(path: str) -> type:
+    module_name, _, qualname = path.partition(":")
+    try:
+        target: Any = importlib.import_module(module_name)
+        for part in qualname.split("."):
+            target = getattr(target, part)
+    except (ImportError, AttributeError) as error:
+        raise CodecError(f"cannot resolve durable type {path!r}") from error
+    return target

@@ -1,0 +1,80 @@
+"""Wire-codec round trips: everything durable backends must reconstruct."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Request, Response, TailCall, actor_proxy
+from repro.mq import Record
+from repro.persist import codec
+
+
+def round_trip(value):
+    return codec.loads(codec.dumps(value))
+
+
+def test_scalars_and_containers():
+    for value in (None, True, False, 3, 2.5, "s", [1, [2, "x"]], {"a": 1}):
+        assert round_trip(value) == value
+    assert round_trip((1, ("a", 2))) == (1, ("a", 2))
+    assert type(round_trip((1, 2))) is tuple
+    assert round_trip({1: "a", (2, 3): "b"}) == {1: "a", (2, 3): "b"}
+    assert round_trip({"mixed": (1, [2, {"k": (3,)}])}) == {
+        "mixed": (1, [2, {"k": (3,)}])
+    }
+    assert round_trip({1, 2, 3}) == {1, 2, 3}
+    assert round_trip(frozenset({"a"})) == frozenset({"a"})
+
+
+def test_envelope_round_trip():
+    request = Request(
+        request_id="r42",
+        step=2,
+        actor=actor_proxy("Flow", "f1"),
+        method="start",
+        args=(7, {"opts": (1, 2)}),
+        return_address="r41",
+        reply_to="caller#0",
+        caller_actor=actor_proxy("Driver", "d1"),
+        caller_member="caller#0",
+        ancestors=("r40", "r41"),
+        tail_lock=True,
+        after_callee="r39",
+        copy_epoch=3,
+        expects_reply=True,
+    )
+    decoded = round_trip(request)
+    assert decoded == request
+    assert isinstance(decoded, Request)
+    assert type(decoded.args) is tuple
+    assert type(decoded.ancestors) is tuple
+
+    response = Response("r42", value={"result": (1, 2)}, error=None)
+    assert round_trip(response) == response
+    assert round_trip(TailCall(actor_proxy("A", "1"), "m", (1,))) == TailCall(
+        actor_proxy("A", "1"), "m", (1,)
+    )
+
+
+def test_record_round_trip():
+    record = Record("w1#0", 5, 12.25, Response("r1", value="ok"))
+    assert round_trip(record) == record
+
+
+def test_pickle_fallback_for_exotic_values():
+    value = complex(1, 2)  # not JSON, not a dataclass
+    wire = codec.to_wire(value)
+    assert wire["__kar__"] == "pickle"
+    assert codec.from_wire(wire) == value
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(codec.CodecError):
+        codec.from_wire({"__kar__": "martian"})
+
+
+def test_unresolvable_type_rejected():
+    with pytest.raises(codec.CodecError):
+        codec.from_wire(
+            {"__kar__": "dc", "type": "no.such.module:Thing", "fields": {}}
+        )
