@@ -14,8 +14,11 @@ Usage::
         --baseline benchmarks/BENCH_baseline.json --output BENCH_results.json
 
 Gated metrics (higher = worse, fail above baseline * 1.10) cover the fan-in
-produce round trips and the lifecycle resident-footprint counts; the rest
-are informational and tracked through the uploaded artifact.
+produce round trips and the lifecycle resident-footprint counts; the storm
+goodput ratio gates in the other direction (lower = worse, fail below
+baseline * 0.90 or the 3x absolute acceptance floor), and lost storm calls
+fail unconditionally. The rest are informational and tracked through the
+uploaded artifact.
 """
 
 from __future__ import annotations
@@ -37,7 +40,12 @@ GATED_HIGHER_IS_WORSE = (
     "lifecycle_peak_handled",
     "lifecycle_peak_settled",
 )
+#: Metrics where a decrease beyond the tolerance is a regression.
+GATED_LOWER_IS_WORSE = ("storm_goodput_ratio",)
 TOLERANCE = 0.10
+#: Absolute floor for the overload-guard storm protection, independent of
+#: what the baseline recorded (the acceptance criterion of the subsystem).
+STORM_RATIO_FLOOR = 3.0
 
 
 def collect_metrics() -> dict[str, float]:
@@ -83,6 +91,22 @@ def collect_metrics() -> dict[str, float]:
     metrics["restart_sqlite_commit_deficit"] = (
         sqlite_row["expected_total"] - sqlite_row["commit_total"]
     )
+
+    print("running overload storm workload ...", flush=True)
+    import bench_overload_storm
+
+    storm = bench_overload_storm.measure_all()
+    metrics["storm_goodput_on_per_s"] = round(
+        storm["on"]["goodput_per_s"], 4
+    )
+    metrics["storm_goodput_off_per_s"] = round(
+        storm["off"]["goodput_per_s"], 4
+    )
+    metrics["storm_goodput_ratio"] = round(storm["goodput_ratio"], 4)
+    metrics["storm_p99_on_s"] = round(storm["on"]["p99_s"], 4)
+    metrics["storm_parked"] = storm["on"]["parked"]
+    metrics["storm_replayed"] = storm["on"]["replayed"]
+    metrics["storm_lost_calls"] = storm["on"]["lost"] + storm["off"]["lost"]
     return metrics
 
 
@@ -94,6 +118,26 @@ def check(metrics: dict[str, float], baseline: dict[str, float]) -> list[str]:
         failures.append("cold restart left unsettled calls behind")
     if metrics.get("restart_sqlite_commit_deficit", 0) != 0:
         failures.append("cold restart lost or duplicated workflow commits")
+    if metrics.get("storm_lost_calls", 0) != 0:
+        failures.append(
+            "overload storm lost calls (dead letters must replay to "
+            "exactly-once completion)"
+        )
+    if metrics.get("storm_goodput_ratio", 0.0) < STORM_RATIO_FLOOR:
+        failures.append(
+            f"storm_goodput_ratio {metrics.get('storm_goodput_ratio')} "
+            f"below the {STORM_RATIO_FLOOR}x acceptance floor"
+        )
+    for name in GATED_LOWER_IS_WORSE:
+        if name not in baseline:
+            failures.append(f"baseline is missing gated metric {name!r}")
+            continue
+        limit = baseline[name] * (1.0 - TOLERANCE)
+        if metrics[name] < limit:
+            failures.append(
+                f"{name}: {metrics[name]} falls short of baseline "
+                f"{baseline[name]} by more than {TOLERANCE:.0%}"
+            )
     for name in GATED_HIGHER_IS_WORSE:
         if name not in baseline:
             failures.append(f"baseline is missing gated metric {name!r}")
@@ -121,7 +165,7 @@ def main() -> int:
     metrics = collect_metrics()
     payload = {
         "tolerance": TOLERANCE,
-        "gated": list(GATED_HIGHER_IS_WORSE),
+        "gated": list(GATED_HIGHER_IS_WORSE) + list(GATED_LOWER_IS_WORSE),
         "metrics": metrics,
     }
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")

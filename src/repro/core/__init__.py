@@ -25,6 +25,13 @@ from repro.core.errors import (
     KarError,
     NoPlacementError,
 )
+from repro.core.overload import (
+    BackoffPolicy,
+    CircuitBreaker,
+    DeadLetter,
+    OverloadGuard,
+    RetryBudget,
+)
 from repro.core.placement import PlacementService
 from repro.core.refs import ActorRef, actor_proxy
 from repro.core.reminders import ReminderAPI
@@ -42,16 +49,21 @@ __all__ = [
     "ActorRegistry",
     "ActorStateAPI",
     "ActorStateCache",
+    "BackoffPolicy",
+    "CircuitBreaker",
     "Component",
+    "DeadLetter",
     "InvocationCancelled",
     "KarApplication",
     "KarConfig",
     "KarError",
     "NoPlacementError",
+    "OverloadGuard",
     "PlacementService",
     "ReminderAPI",
     "Request",
     "RetentionSet",
+    "RetryBudget",
     "Response",
     "Router",
     "TailCall",

@@ -18,11 +18,13 @@ drives every unsettled call to completion (Section 4.3 run from bytes).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any
 
 from repro.core.actor import Actor, ActorRegistry
 from repro.core.config import KarConfig
 from repro.core.envelope import Request, Response
+from repro.core.overload import DEAD_LETTER_PARTITION, DeadLetter
 from repro.core.refs import ActorRef
 from repro.core.runtime import Component
 from repro.kvstore import KVStore, StoreBackend
@@ -68,6 +70,13 @@ class KarApplication:
         self.config = config or KarConfig()
         self.name = name
         self.topic_name = f"{name}-topic"
+        # The dead-letter parking lot: its own topic, outside the
+        # reconciliation catalog, the dead-queue sweeps, and the
+        # retention-expiry read paths -- parked calls must outlive all
+        # three. It is journal-mirrored like any topic, so the parking lot
+        # survives a cold restart.
+        self.dead_letter_topic = f"{name}-deadletters"
+        self.dead_letters_replayed = 0
         if store_backend is None and broker_log is None:
             store_backend, broker_log = build_persistence(
                 self.config.persistence, name
@@ -288,6 +297,159 @@ class KarApplication:
                 (r.largest_batch for r in routers), default=0
             ),
         }
+
+    # ------------------------------------------------------------------
+    # overload control: the dead-letter parking lot
+    # ------------------------------------------------------------------
+    async def park_dead_letter(self, letter: DeadLetter, client_id: str) -> None:
+        """Durably append one dead letter (fenced producers still rejected)."""
+        await self.broker.produce(
+            self.dead_letter_topic, DEAD_LETTER_PARTITION, letter, client_id
+        )
+
+    def _dead_letter_values(self) -> list[DeadLetter]:
+        topic = self.broker.topics.get(self.dead_letter_topic)
+        if topic is None or DEAD_LETTER_PARTITION not in topic.partitions:
+            return []
+        # snapshot(), not unexpired(): reading the parking lot must never
+        # trigger a retention-expiry sweep on it.
+        return [
+            record.value
+            for record in topic.partitions[DEAD_LETTER_PARTITION].snapshot()
+            if isinstance(record.value, DeadLetter)
+        ]
+
+    def dead_letters(self) -> list[dict[str, Any]]:
+        """The parked calls, each with its full failure history."""
+        return [letter.describe() for letter in self._dead_letter_values()]
+
+    def dead_letter_index(self) -> set[tuple[str, int]]:
+        """Dedup keys of every parked request (reconciliation skips these:
+        redelivery of a parked call belongs to the parking lot, not the
+        crash-recovery copy path)."""
+        return {
+            letter.request.dedup_key for letter in self._dead_letter_values()
+        }
+
+    def overload_stats(self) -> dict[str, Any]:
+        """Aggregate overload-control evidence across the current component
+        incarnations (like ``transport_stats``): retry-budget consumption,
+        breaker states and transitions, shed counts, and the dead letters
+        currently parked, each with its full failure history."""
+        guards = [
+            component.overload
+            for component in self.components.values()
+            if component.overload is not None
+        ]
+        per_guard = [guard.stats(self.kernel.now) for guard in guards]
+        totals: dict[str, Any] = {}
+        for stats in per_guard:
+            for key, value in stats.items():
+                totals[key] = totals.get(key, 0) + value
+        if per_guard:
+            totals["max_pending"] = max(s["max_pending"] for s in per_guard)
+        letters = self.dead_letters()
+        totals["dead_letter_depth"] = len(letters)
+        totals["dead_letters"] = letters
+        totals["dead_letters_replayed"] = self.dead_letters_replayed
+        return totals
+
+    async def redeliver_dead_letters_async(
+        self, reset_breakers: bool = True
+    ) -> dict[str, int]:
+        """Replay every parked call after the fault clears.
+
+        Exactly-once end to end: letters whose request id already has a
+        response in the journal are skipped (settled elsewhere -- e.g. a
+        reconciliation copy completed while the letter sat parked), the
+        batch is deduplicated by (id, step), and each replay re-enters the
+        normal routing path -- single placement plus per-component (id,
+        step) dedup make a replay that races a recovery copy execute once.
+        A replay that fails again simply parks a fresh letter.
+
+        ``reset_breakers`` force-closes every breaker first: invoking
+        redelivery is the operator's declaration that the fault cleared,
+        and without it the replays would divert straight back to the lot.
+        """
+        letters = self._dead_letter_values()
+        summary = {
+            "parked": len(letters),
+            "replayed": 0,
+            "skipped_settled": 0,
+            "skipped_duplicate": 0,
+            "breakers_reset": 0,
+        }
+        if reset_breakers:
+            for component in self.components.values():
+                if component.alive and component.overload is not None:
+                    summary["breakers_reset"] += (
+                        component.overload.reset_breakers(self.kernel.now)
+                    )
+        if not letters:
+            return summary
+        requested: set[str] = set()
+        responded: set[str] = set()
+        topic = self.broker.topics.get(self.topic_name)
+        if topic is not None:
+            for record in topic.snapshot_unexpired(self.kernel.now):
+                envelope = record.value
+                if isinstance(envelope, Response):
+                    responded.add(envelope.request_id)
+                elif isinstance(envelope, Request):
+                    requested.add(envelope.request_id)
+        # Drop the lot up front: a replay that fails again re-parks a fresh
+        # letter (with its extended history) instead of duplicating itself.
+        self.broker.topic(self.dead_letter_topic).drop_partition(
+            DEAD_LETTER_PARTITION
+        )
+        client = self.client()
+        seen: set[tuple[str, int]] = set()
+        for letter in letters:
+            request = letter.request
+            if request.dedup_key in seen:
+                summary["skipped_duplicate"] += 1
+                continue
+            seen.add(request.dedup_key)
+            if request.request_id in responded:
+                summary["skipped_settled"] += 1
+                self.trace.emit(
+                    "deadletter.skipped",
+                    request=request.request_id,
+                    step=request.step,
+                    reason="already settled",
+                )
+                continue
+            if request.after_callee is not None and not (
+                request.after_callee in requested
+                and request.after_callee not in responded
+            ):
+                # The happen-before callee already settled (or its evidence
+                # expired): replaying with the annotation intact would park
+                # forever on a response that will never arrive again.
+                request = replace(request, after_callee=None)
+            await client.router.route_request(request)
+            summary["replayed"] += 1
+            self.dead_letters_replayed += 1
+            self.trace.emit(
+                "deadletter.replayed",
+                request=request.request_id,
+                step=request.step,
+                actor=str(request.actor),
+                method=request.method,
+            )
+        return summary
+
+    def redeliver_dead_letters(
+        self, reset_breakers: bool = True, timeout: float | None = 600.0
+    ) -> dict[str, int]:
+        """Synchronous driver for :meth:`redeliver_dead_letters_async`."""
+        client = self.client()
+        task = self.kernel.spawn(
+            self.redeliver_dead_letters_async(reset_breakers),
+            process=client.process,
+            name="redeliver_dead_letters",
+        )
+        return self.kernel.run_until_complete(task, timeout=timeout)
 
     # ------------------------------------------------------------------
     # durability evidence (cold-restart benchmarks and tests)

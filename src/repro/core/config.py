@@ -89,6 +89,41 @@ class KarConfig:
     # passivation and dies with the component on failure.
     state_cache: bool = True
 
+    # --- overload control (retry-storm protection) ---------------------------
+    # Master switch for the guard subsystem. When False the runtime keeps
+    # the legacy behaviour exactly: fixed placement-retry sleeps, unbounded
+    # mailboxes, no breakers, no dead-lettering.
+    overload_guard: bool = True
+    # Jittered exponential backoff for runtime retries (placement
+    # re-resolution, stale-route resends, shed-mailbox re-admission):
+    # each retry sleeps uniform(0, min(cap, base * 2^attempt)).
+    retry_backoff_base: float = 0.05
+    retry_backoff_cap: float = 2.0
+    # Token-bucket retry budget: each first attempt deposits ``ratio``
+    # tokens (capped at ``burst``), each retry spends one, and a dry bucket
+    # defers the retry through further backoff rounds. ``floor_per_sec``
+    # trickles tokens in on the clock so recovery cannot deadlock when
+    # first-attempt traffic has stopped.
+    retry_budget_ratio: float = 0.1
+    retry_budget_burst: float = 50.0
+    retry_budget_floor_per_sec: float = 2.0
+    # Circuit breakers per (actor type, method): open after ``threshold``
+    # consecutive execution failures, half-open after ``cooldown`` seconds
+    # admitting exactly one probe. ``None`` disables breakers (the divert
+    # path changes failure semantics, so it is opt-in).
+    breaker_threshold: int | None = None
+    breaker_cooldown: float = 30.0
+    # Reconciliation redelivery cap: a stranded request that has already
+    # been recovery-copied this many times is parked in the dead-letter
+    # topic instead of being copied again -- the poison-pill bound that
+    # ends crash-reconcile amplification loops. ``None`` keeps the paper's
+    # retry-forever contract (the default).
+    redelivery_limit: int | None = None
+    # Mailbox admission control: pending queues beyond this depth shed
+    # their oldest *retries* (recovery copies) back to the budget-paced
+    # backoff path; first attempts are never shed. ``None`` = unbounded.
+    mailbox_capacity: int | None = 256
+
     # --- reminders -----------------------------------------------------------
     reminder_tick: float = 0.5
 

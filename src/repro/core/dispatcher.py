@@ -25,10 +25,15 @@ class ActorMailbox:
     currently open on *this* actor (the root plus any reentrant frames).
     """
 
-    def __init__(self):
+    def __init__(self, capacity: int | None = None):
         self.lock_root: str | None = None
         self.stack: set[str] = set()
         self.pending: deque[Request] = deque()
+        #: Admission-control bound on ``pending``; ``None`` = unbounded.
+        #: Enforced by :meth:`shed_overflow`, not by ``try_admit`` -- the
+        #: queue may exceed capacity transiently (or permanently, when it
+        #: holds only unsheddable first attempts).
+        self.capacity = capacity
 
     def try_admit(self, request: Request) -> bool:
         """Return True if ``request`` may execute now; else queue it.
@@ -81,6 +86,29 @@ class ActorMailbox:
         self.lock_root = successor.request_id
         self.stack.add(successor.request_id)
         return successor
+
+    def shed_overflow(self) -> list[Request]:
+        """Evict the oldest *retries* while ``pending`` exceeds capacity.
+
+        Load shedding for overload control: only recovery copies
+        (``copy_epoch > 0``) are sheddable -- they already have a paced
+        re-admission path through the retry budget -- and they are shed
+        oldest-first. First attempts are never shed, so a queue of fresh
+        traffic is allowed to exceed capacity rather than lose work.
+        """
+        if self.capacity is None or len(self.pending) <= self.capacity:
+            return []
+        shed: list[Request] = []
+        excess = len(self.pending) - self.capacity
+        kept: deque[Request] = deque()
+        for request in self.pending:
+            if excess > 0 and request.copy_epoch > 0:
+                shed.append(request)
+                excess -= 1
+            else:
+                kept.append(request)
+        self.pending = kept
+        return shed
 
     @property
     def idle(self) -> bool:

@@ -38,6 +38,8 @@ class Request:
     after_callee: str | None = None  # happen-before postponement (recovery)
     copy_epoch: int = 0  # generation that copied this request (0 = original)
     expects_reply: bool = True  # False for tell (response self-acks only)
+    attempts: int = 0  # recovery copies delivered so far (redelivery count)
+    attempt_log: tuple[float, ...] = ()  # timestamps of those copies
 
     @property
     def dedup_key(self) -> tuple[str, int]:
@@ -61,10 +63,23 @@ class Request:
             tail_lock=(actor == current),
             after_callee=None,
             copy_epoch=0,
+            attempts=0,
+            attempt_log=(),
         )
 
-    def recovery_copy(self, epoch: int, after_callee: str | None) -> "Request":
-        return replace(self, copy_epoch=epoch, after_callee=after_callee)
+    def recovery_copy(
+        self, epoch: int, after_callee: str | None, now: float | None = None
+    ) -> "Request":
+        """A redelivery of this request, stamped into its attempt history
+        so redelivery caps and dead-letter evidence can count real copies."""
+        log = self.attempt_log if now is None else self.attempt_log + (now,)
+        return replace(
+            self,
+            copy_epoch=epoch,
+            after_callee=after_callee,
+            attempts=self.attempts + 1,
+            attempt_log=log,
+        )
 
 
 @dataclass(frozen=True)

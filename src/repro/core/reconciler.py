@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.core.envelope import Request, Response
+from repro.core.overload import DEAD_LETTER_PARTITION, DeadLetter
 from repro.mq import GenerationInfo
 
 if TYPE_CHECKING:
@@ -77,17 +78,8 @@ class Reconciler:
                 responses.add(envelope.request_id)
             elif isinstance(envelope, Request):
                 current = latest_request.get(envelope.request_id)
-                if (
-                    current is None
-                    or envelope.step > current[1].step
-                    or (
-                        # Same step, but this copy sits in a live queue:
-                        # the request is already in a survivor's hands and
-                        # must not be copied again.
-                        envelope.step == current[1].step
-                        and current[0] not in live_members
-                        and record.partition in live_members
-                    )
+                if current is None or self._supersedes(
+                    record.partition, envelope, current[0], current[1], live_members
                 ):
                     latest_request[envelope.request_id] = (
                         record.partition,
@@ -111,9 +103,36 @@ class Reconciler:
         # recover first, then everything else in arrival order.
         stranded.sort(key=lambda item: (not item[1].tail_lock, item[1].request_id))
 
+        # Redelivery cap (overload control): a stranded request that has
+        # already been recovery-copied ``redelivery_limit`` times is a
+        # poison-pill suspect -- park it in the dead-letter topic with its
+        # attempt history instead of feeding the crash-reconcile loop again.
+        # Requests already parked (by a breaker or a prior sweep) are
+        # skipped entirely: redelivery now belongs to the parking lot.
+        limit = (
+            self.config.redelivery_limit if self.config.overload_guard else None
+        )
+        parked_index = (
+            self.app.dead_letter_index() if limit is not None else frozenset()
+        )
+        parked: list[DeadLetter] = []
+
         copies: list[tuple[str, Request]] = []
         unplaced: list[Request] = []
         for _partition, request in stranded:
+            if limit is not None:
+                if request.dedup_key in parked_index:
+                    trace.emit(
+                        "reconcile.already_parked",
+                        request=request.request_id,
+                        step=request.step,
+                    )
+                    continue
+                if request.attempts >= limit:
+                    parked.append(
+                        self._dead_letter(request, limit, info.generation)
+                    )
+                    continue
             candidates = component.router.live_candidates(request.actor.type)
             if not candidates:
                 unplaced.append(request)
@@ -134,7 +153,12 @@ class Reconciler:
                 # letting retries overlap live callees from prior attempts.
                 after_callee = None
             copies.append(
-                (target_member, request.recovery_copy(info.generation, after_callee))
+                (
+                    target_member,
+                    request.recovery_copy(
+                        info.generation, after_callee, self.kernel.now
+                    ),
+                )
             )
 
         await self.kernel.sleep(self.config.reconcile_per_copy * max(len(copies), 1))
@@ -160,6 +184,29 @@ class Reconciler:
                 step=request.step,
                 target=target_member,
                 after_callee=request.after_callee,
+            )
+
+        # Park poison-pill suspects durably (their own topic, outside this
+        # catalog). Idempotent across leader restarts: the parked_index
+        # skip above makes a re-park a no-op next sweep, and replay dedups
+        # by (id, step) regardless.
+        if parked:
+            self.app.broker.produce_internal_batch(
+                self.app.dead_letter_topic,
+                [(DEAD_LETTER_PARTITION, letter) for letter in parked],
+            )
+            if component.overload is not None:
+                component.overload.parked += len(parked)
+        for letter in parked:
+            trace.emit(
+                "deadletter.parked",
+                request=letter.request.request_id,
+                step=letter.request.step,
+                actor=str(letter.request.actor),
+                method=letter.request.method,
+                reason=letter.reason,
+                attempts=letter.attempts,
+                member=component.member_id,
             )
 
         # Rebuild the unplaced queue from scratch (idempotent on restart).
@@ -212,9 +259,52 @@ class Reconciler:
             generation=info.generation,
             copied=len(copies),
             unplaced=len(unplaced),
+            parked=len(parked),
             dropped=dropped,
         )
         coordinator.resume(info.generation)
+
+    def _dead_letter(
+        self, request: Request, limit: int, generation: int
+    ) -> DeadLetter:
+        now = self.kernel.now
+        history = tuple(
+            (at, f"recovery copy #{index + 1} after component failure")
+            for index, at in enumerate(request.attempt_log)
+        ) + ((now, f"redelivery limit {limit} reached; parked"),)
+        return DeadLetter(
+            request=request,
+            reason="redelivery_limit",
+            parked_at=now,
+            attempts=request.attempts,
+            failure_history=history,
+            parked_by=f"reconciler:{self.component.member_id}@g{generation}",
+        )
+
+    @staticmethod
+    def _supersedes(
+        candidate_partition: str,
+        candidate: Request,
+        current_partition: str,
+        current: Request,
+        live_members: set[str],
+    ) -> bool:
+        """Whether ``candidate`` is the better record of its request id.
+
+        A higher step always wins (a tail call supersedes the request it
+        completes). At equal step: a copy in a live queue wins over one in
+        a dead queue (the request is already in a survivor's hands and must
+        not be copied again), and otherwise the *latest* recovery copy
+        (highest copy epoch) wins -- its attempt history is the complete
+        redelivery record, which the redelivery cap counts against.
+        """
+        if candidate.step != current.step:
+            return candidate.step > current.step
+        candidate_live = candidate_partition in live_members
+        current_live = current_partition in live_members
+        if candidate_live != current_live:
+            return candidate_live
+        return candidate.copy_epoch > current.copy_epoch
 
     @staticmethod
     def _pending_callee(

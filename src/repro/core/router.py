@@ -43,9 +43,11 @@ if TYPE_CHECKING:
 
 __all__ = ["Router"]
 
-#: Delay before re-checking for a live component supporting an actor type
-#: ("KAR queues requests to unavailable types separately, revisiting this
-#: queue when new components are added", Section 4.3).
+#: Legacy fixed delay before re-checking for a live component supporting an
+#: actor type ("KAR queues requests to unavailable types separately,
+#: revisiting this queue when new components are added", Section 4.3).
+#: Used only with ``overload_guard=False``; with the guard on, every routing
+#: retry is paced by the jittered-backoff + retry-budget policy instead.
 _PLACEMENT_RETRY_DELAY = 0.25
 
 
@@ -215,25 +217,55 @@ class Router:
                     entry.future.set_result(outcome)
 
     # ------------------------------------------------------------------
+    # retry pacing
+    # ------------------------------------------------------------------
+    async def _retry_pause(self, attempt: int) -> None:
+        """Pace one routing retry: jittered backoff + retry budget with the
+        overload guard on, the legacy fixed sleep with it off."""
+        guard = self.component.overload
+        if guard is None:
+            await self.kernel.sleep(_PLACEMENT_RETRY_DELAY)
+        else:
+            await guard.pace_retry(attempt)
+
+    async def _pace_if_guarded(self, attempt: int) -> None:
+        """Pace retry paths that were historically immediate (stale routes,
+        dead incarnations): backoff-paced with the guard on, immediate with
+        it off, preserving the legacy retry loop exactly."""
+        guard = self.component.overload
+        if guard is not None:
+            await guard.pace_retry(attempt)
+
+    # ------------------------------------------------------------------
     # request routing
     # ------------------------------------------------------------------
     async def route_request(self, request: "Request") -> None:
         """Resolve placement and durably enqueue; retries stale routes."""
+        guard = self.component.overload
+        if guard is not None and request.copy_epoch == 0 and request.attempts == 0:
+            # A first attempt: never throttled, and it earns retry credit.
+            guard.budget.deposit(self.kernel.now)
+        attempt = 0
         while True:
             await self.coordinator.wait_unpaused()
             candidates = self.live_candidates(request.actor.type)
             if not candidates:
-                await self.kernel.sleep(_PLACEMENT_RETRY_DELAY)
+                await self._retry_pause(attempt)
+                attempt += 1
                 continue
             target_name = await self.placement.resolve(request.actor, candidates)
             target_member = self.live_incarnation(target_name)
             if target_member is None:
                 self.placement.invalidate_components({target_name})
+                await self._pace_if_guarded(attempt)
+                attempt += 1
                 continue
             try:
                 await self.send_durable(target_member, request)
             except StaleRouteError:
                 self.placement.invalidate_components({target_name})
+                await self._pace_if_guarded(attempt)
+                attempt += 1
                 continue
             self.trace.emit(
                 "request.sent",
@@ -274,6 +306,7 @@ class Router:
         if self.config.completion_log:
             await self._send_response_transactional(request, response)
             return
+        attempt = 0
         while True:
             target, resolved_name = await self._resolve_response_target(request)
             if target is None:
@@ -299,6 +332,8 @@ class Router:
                 # of spinning on the dead entry.
                 if resolved_name is not None:
                     self.placement.invalidate_components({resolved_name})
+                await self._pace_if_guarded(attempt)
+                attempt += 1
                 continue
             self.trace.emit(
                 "response.sent",
@@ -328,6 +363,7 @@ class Router:
         stale-route send failure the caller invalidates
         ``resolved_component_name`` and asks again.
         """
+        attempt = 0
         while True:
             await self.coordinator.wait_unpaused()
             if self.is_live_member(request.reply_to):
@@ -336,7 +372,8 @@ class Router:
                 return None, None
             candidates = self.live_candidates(request.caller_actor.type)
             if not candidates:
-                await self.kernel.sleep(_PLACEMENT_RETRY_DELAY)
+                await self._retry_pause(attempt)
+                attempt += 1
                 continue
             resolved_name = await self.placement.resolve(
                 request.caller_actor, candidates
@@ -344,6 +381,8 @@ class Router:
             target = self.live_incarnation(resolved_name)
             if target is None:
                 self.placement.invalidate_components({resolved_name})
+                await self._pace_if_guarded(attempt)
+                attempt += 1
                 continue
             return target, resolved_name
 

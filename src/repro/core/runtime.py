@@ -35,6 +35,7 @@ from repro.core.context import ActorContext
 from repro.core.dispatcher import ActorMailbox
 from repro.core.envelope import Request, Response, TailCall
 from repro.core.errors import ActorMethodError, InvocationCancelled
+from repro.core.overload import CircuitBreaker, DeadLetter, OverloadGuard
 from repro.core.placement import PlacementService
 from repro.core.refs import ActorRef
 from repro.core.retention import RetentionSet
@@ -89,6 +90,14 @@ class Component:
         self.passivations = 0
         self._live_members: set[str] | None = None
         self.is_leader = False
+        # Overload control (retry budgets, breakers, mailbox admission):
+        # per-incarnation state, sharing the component's fate like dedup
+        # evidence does. ``None`` keeps the legacy unguarded behaviour.
+        self.overload: OverloadGuard | None = (
+            OverloadGuard(app.config, app.kernel)
+            if app.config.overload_guard
+            else None
+        )
 
     # ------------------------------------------------------------------
     # shortcuts
@@ -263,16 +272,28 @@ class Component:
             self._admit(parked)
 
     def _handle_request(self, request: Request) -> None:
-        if self._handled.observe(request.dedup_key, self.kernel.now):
+        if request.dedup_key in self._handled:
             # A reconciliation restart copied this request twice (Section
             # 4.3: "request messages already copied ... are skipped").
             # Observing the duplicate also refreshes the evidence's
             # retention stamp: the copy proves an unexpired record still
             # exists that could be copied again.
+            self._handled.observe(request.dedup_key, self.kernel.now)
             self.trace.emit(
                 "request.duplicate", request=request.request_id, step=request.step
             )
             return
+        if self.overload is not None:
+            breaker = self.overload.breaker_diverts(request, self.kernel.now)
+            if breaker is not None:
+                # Diverted to the parking lot *without* being marked
+                # handled: the request has not executed, and its eventual
+                # replay must be admitted here. Exactly-once is preserved
+                # because the one real execution happens at replay,
+                # deduplicated like any reconciliation copy.
+                self._park_dead_letter(request, "breaker_open", breaker)
+                return
+        self._handled.observe(request.dedup_key, self.kernel.now)
         if (
             request.after_callee is not None
             and request.after_callee not in self._settled
@@ -289,10 +310,92 @@ class Component:
         self._admit(request)
 
     def _admit(self, request: Request) -> None:
-        mailbox = self._mailboxes.setdefault(request.actor, ActorMailbox())
+        mailbox = self._mailboxes.get(request.actor)
+        if mailbox is None:
+            capacity = (
+                self.config.mailbox_capacity if self.overload is not None else None
+            )
+            mailbox = self._mailboxes[request.actor] = ActorMailbox(capacity)
         self._last_active[request.actor] = self.kernel.now
         if mailbox.try_admit(request):
             self._spawn_executor(request)
+        elif self.overload is not None:
+            self.overload.observe_pending(len(mailbox.pending))
+            for shed in mailbox.shed_overflow():
+                # Admission control: the oldest queued retries go back to
+                # the budget-paced backoff path instead of growing the
+                # queue without bound. First attempts are never shed.
+                self.trace.emit(
+                    "mailbox.shed",
+                    request=shed.request_id,
+                    step=shed.step,
+                    actor=str(shed.actor),
+                    pending=len(mailbox.pending),
+                )
+                self.kernel.spawn(
+                    self._requeue_shed(shed),
+                    self.process,
+                    name=f"shed:{shed.request_id}.{shed.step}@{self.member_id}",
+                )
+
+    async def _requeue_shed(self, request: Request) -> None:
+        """Re-admit a shed retry after budget-paced jittered backoff.
+
+        The request was already marked handled in ``_handle_request``, so
+        re-admission goes straight to ``_admit`` (not back through dedup).
+        Repeat sheds of the same request back off further.
+        """
+        guard = self.overload
+        if guard is None:
+            self._admit(request)
+            return
+        attempt = guard.note_shed(request.dedup_key)
+        await guard.pace_retry(attempt)
+        guard.shed_requeues += 1
+        self._admit(request)
+
+    # ------------------------------------------------------------------
+    # dead-letter parking (breaker diverts)
+    # ------------------------------------------------------------------
+    def _park_dead_letter(
+        self, request: Request, reason: str, breaker: CircuitBreaker
+    ) -> None:
+        """Write a diverted request to the durable parking-lot topic with
+        its full evidence: the redelivery timestamps it accumulated and the
+        recent failures that tripped (or keep open) the breaker."""
+        history = tuple(
+            (at, "redelivered by reconciliation") for at in request.attempt_log
+        ) + tuple(breaker.recent_failures)
+        letter = DeadLetter(
+            request=request,
+            reason=reason,
+            parked_at=self.kernel.now,
+            attempts=request.attempts,
+            failure_history=history,
+            parked_by=self.member_id,
+        )
+        if self.overload is not None:
+            self.overload.parked += 1
+        self.trace.emit(
+            "deadletter.parked",
+            request=request.request_id,
+            step=request.step,
+            actor=str(request.actor),
+            method=request.method,
+            reason=reason,
+            member=self.member_id,
+        )
+        self.kernel.spawn(
+            self._produce_dead_letter(letter),
+            self.process,
+            name=f"park:{request.request_id}.{request.step}@{self.member_id}",
+        )
+
+    async def _produce_dead_letter(self, letter: DeadLetter) -> None:
+        try:
+            await self.app.park_dead_letter(letter, self.member_id)
+        except _FENCE_ERRORS:
+            self._suicide()
 
     def _spawn_executor(self, request: Request) -> None:
         self.kernel.spawn(
@@ -306,7 +409,10 @@ class Component:
     # ------------------------------------------------------------------
     async def _execute(self, request: Request) -> None:
         try:
+            if self.overload is not None:
+                self.overload.clear_shed(request.dedup_key)
             kind, payload = await self._run_method(request)
+            self._record_outcome(request, kind, payload)
             tail_to_self = False
             if kind == "tail":
                 successor: Request = payload
@@ -346,6 +452,28 @@ class Component:
             self._finish_frame(request, tail_to_self)
         except _FENCE_ERRORS:
             self._suicide()
+
+    def _record_outcome(self, request: Request, kind: str, payload: Any) -> None:
+        """Feed the execution outcome to the circuit breaker for this
+        (actor type, method). "cancelled" is neutral: an elided invocation
+        says nothing about the method's health."""
+        if self.overload is None:
+            return
+        now = self.kernel.now
+        if kind == "error":
+            transition = self.overload.record_failure(request, str(payload), now)
+        elif kind in ("value", "tail"):
+            transition = self.overload.record_success(request, now)
+        else:
+            return
+        if transition is not None:
+            self.trace.emit(
+                "breaker.transition",
+                actor_type=request.actor.type,
+                method=request.method,
+                transition=transition,
+                member=self.member_id,
+            )
 
     async def _run_method(self, request: Request) -> tuple[str, Any]:
         if self._should_elide(request):

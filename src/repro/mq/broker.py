@@ -122,6 +122,15 @@ class Partition:
         self.expire(now)
         return list(self._records)
 
+    def snapshot(self) -> list[Record]:
+        """All retained records *without* triggering retention expiry.
+
+        The dead-letter parking lot reads through this: parked envelopes
+        must outlive the retention window of ordinary traffic, so nothing
+        on the parking-lot read path may start an expiry sweep.
+        """
+        return list(self._records)
+
     def __len__(self) -> int:
         return len(self._records)
 

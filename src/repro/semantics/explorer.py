@@ -6,6 +6,16 @@ every path may apply the failure rule at most ``max_failures`` times
 Theorem monitors run on every state; quiescent states (no successors without
 new failures) are collected so analyses can assert on final stores --
 e.g. "the counter is exactly one higher on every quiescent state".
+
+A stuck state that still holds pending requests is *not* quiescent -- it is
+a deadlock, reported separately in :attr:`ExplorationResult.deadlocked`.
+Synchronous cross-chain call cycles genuinely deadlock in KAR (two call
+chains, each holding its actor's logical lock, calling into each other's
+actor): a failure-induced retry re-executes its nested call with a fresh id
+(Section 2.3's nested accumulator shows retries repeat nested calls), so the
+re-issued call can queue behind a concurrently forked chain and close the
+cycle. The theorems do not claim deadlock freedom for such programs, so the
+explorer must not count these stuck states among the completed ones.
 """
 
 from __future__ import annotations
@@ -29,6 +39,8 @@ class ExplorationResult:
     #: One representative rule-trace per quiescent state (same order).
     traces: list[tuple[tuple[str, tuple], ...]]
     truncated: bool = False
+    #: Stuck states with pending requests: cross-chain call deadlocks.
+    deadlocked: list[RuntimeState] = field(default_factory=list)
 
     def quiescent_stores(self) -> list[dict]:
         return [dict(state.store) for state in self.quiescent]
@@ -81,8 +93,10 @@ class Explorer:
         queue: deque[_Node] = deque([start])
         visited: set = set()
         quiescent: list[RuntimeState] = []
+        deadlocked: list[RuntimeState] = []
         traces: list[tuple] = []
         quiescent_seen: set = set()
+        deadlocked_seen: set = set()
         count = 0
         truncated = False
 
@@ -114,7 +128,13 @@ class Explorer:
 
             if not progressed:
                 fingerprint = node.state
-                if fingerprint not in quiescent_seen:
+                if node.state.requests():
+                    # Pending work that no rule can advance: a deadlock
+                    # (blocked cross-chain call cycle), not a completion.
+                    if fingerprint not in deadlocked_seen:
+                        deadlocked_seen.add(fingerprint)
+                        deadlocked.append(node.state)
+                elif fingerprint not in quiescent_seen:
                     quiescent_seen.add(fingerprint)
                     quiescent.append(node.state)
                     traces.append(node.trace)
@@ -124,6 +144,7 @@ class Explorer:
             quiescent=quiescent,
             traces=traces,
             truncated=truncated,
+            deadlocked=deadlocked,
         )
 
     def _advance(self, node: _Node, labelled: Labelled, failure: bool) -> _Node:

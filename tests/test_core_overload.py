@@ -1,0 +1,398 @@
+"""Overload control: retry budgets, breakers, dead letters, admission."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from helpers import Latch, make_app, run
+from repro.core import Actor, ActorMethodError, actor_proxy
+from repro.core.dispatcher import ActorMailbox
+from repro.core.envelope import Request
+from repro.core.overload import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    BackoffPolicy,
+    CircuitBreaker,
+    DeadLetter,
+    RetryBudget,
+)
+from repro.core.refs import ActorRef
+
+
+# ----------------------------------------------------------------------
+# unit: backoff policy
+# ----------------------------------------------------------------------
+def test_backoff_full_jitter_bounds():
+    policy = BackoffPolicy(base=0.1, cap=2.0)
+    assert policy.bound(0) == pytest.approx(0.1)
+    assert policy.bound(1) == pytest.approx(0.2)
+    assert policy.bound(3) == pytest.approx(0.8)
+    assert policy.bound(10) == pytest.approx(2.0)  # capped
+    assert policy.bound(1000) == pytest.approx(2.0)  # exponent clamped too
+    rng = Random(7)
+    for attempt in range(12):
+        for _ in range(50):
+            delay = policy.delay(attempt, rng)
+            assert 0.0 <= delay <= policy.bound(attempt)
+
+
+# ----------------------------------------------------------------------
+# unit: retry budget
+# ----------------------------------------------------------------------
+def test_retry_budget_caps_amplification_and_defers():
+    budget = RetryBudget(ratio=0.5, burst=2.0, floor_per_sec=0.0)
+    # Starts full: two retries spendable immediately, the third defers.
+    assert budget.try_spend(0.0)
+    assert budget.try_spend(0.0)
+    assert not budget.try_spend(0.0)
+    assert budget.deferred == 1
+    # Two first attempts deposit 0.5 each -> one more retry is covered.
+    budget.deposit(0.0)
+    budget.deposit(0.0)
+    assert budget.try_spend(0.0)
+    assert not budget.try_spend(0.0)
+    assert budget.spent == 3
+    # Deposits never exceed the burst cap.
+    for _ in range(100):
+        budget.deposit(0.0)
+    assert budget.balance(0.0) == pytest.approx(2.0)
+
+
+def test_retry_budget_floor_trickle_unsticks_recovery():
+    budget = RetryBudget(ratio=0.1, burst=5.0, floor_per_sec=2.0)
+    while budget.try_spend(0.0):
+        pass
+    assert not budget.try_spend(0.0)
+    # No first attempts at all, but the clock alone re-earns a token.
+    assert budget.try_spend(0.6)
+
+
+# ----------------------------------------------------------------------
+# unit: circuit breaker state machine
+# ----------------------------------------------------------------------
+def test_breaker_opens_closes_through_probe():
+    breaker = CircuitBreaker(threshold=3, cooldown=10.0)
+    for n in range(3):
+        assert breaker.admit(f"r{n}", float(n))
+        breaker.record_failure(f"r{n}", float(n), "boom")
+    assert breaker.state == BREAKER_OPEN
+    assert not breaker.admit("r3", 5.0)  # cooldown not elapsed
+    assert breaker.admit("r4", 12.1)  # past cooldown: r4 is the probe
+    assert breaker.state == BREAKER_HALF_OPEN
+    assert breaker.record_success("r4", 12.2) == "half_open->closed"
+    assert breaker.state == BREAKER_CLOSED
+    assert breaker.consecutive_failures == 0
+
+
+def test_halfopen_probe_failure_reopens_with_fresh_cooldown():
+    breaker = CircuitBreaker(threshold=1, cooldown=10.0)
+    breaker.record_failure("r0", 0.0, "boom")
+    assert breaker.state == BREAKER_OPEN
+    assert breaker.admit("probe", 10.0)  # cooldown from t=0 elapsed
+    assert breaker.record_failure("probe", 11.0, "boom") == "half_open->open"
+    # The cooldown clock restarted at the probe's failure (t=11), not at
+    # the original trip (t=0): t=20.9 is still inside the fresh window.
+    assert not breaker.admit("r1", 20.9)
+    assert breaker.admit("r2", 21.0)
+    assert breaker.state == BREAKER_HALF_OPEN
+
+
+def test_halfopen_admits_exactly_one_probe_and_ignores_stragglers():
+    breaker = CircuitBreaker(threshold=1, cooldown=1.0)
+    breaker.record_failure("r0", 0.0, "boom")
+    admitted = [breaker.admit(f"c{n}", 2.0) for n in range(3)]
+    assert admitted == [True, False, False]  # c0 is the one probe
+    # A straggler's outcome (admitted before the trip) moves nothing.
+    breaker.record_failure("ancient", 2.1, "boom")
+    assert breaker.state == BREAKER_HALF_OPEN
+    # Only the designated probe's success closes the circuit.
+    assert breaker.record_success("c1", 2.2) is None
+    assert breaker.state == BREAKER_HALF_OPEN
+    assert breaker.record_success("c0", 2.3) == "half_open->closed"
+
+
+# ----------------------------------------------------------------------
+# unit: mailbox admission control
+# ----------------------------------------------------------------------
+def _request(request_id: str, copy_epoch: int = 0) -> Request:
+    return Request(
+        request_id=request_id,
+        step=0,
+        actor=ActorRef("T", "a"),
+        method="m",
+        args=(),
+        return_address=None,
+        reply_to=None,
+        caller_actor=None,
+        caller_member=None,
+        copy_epoch=copy_epoch,
+    )
+
+
+def test_mailbox_sheds_oldest_retries_never_first_attempts():
+    mailbox = ActorMailbox(capacity=2)
+    assert mailbox.try_admit(_request("holder"))  # takes the lock
+    for request in (
+        _request("f1"),
+        _request("c1", copy_epoch=3),
+        _request("f2"),
+        _request("c2", copy_epoch=5),
+        _request("f3"),
+    ):
+        assert not mailbox.try_admit(request)
+    shed = mailbox.shed_overflow()
+    # Oldest retries first; first attempts survive even above capacity.
+    assert [r.request_id for r in shed] == ["c1", "c2"]
+    assert [r.request_id for r in mailbox.pending] == ["f1", "f2", "f3"]
+    # Under capacity: nothing to shed.
+    assert ActorMailbox(capacity=2).shed_overflow() == []
+    # Unbounded mailbox never sheds.
+    unbounded = ActorMailbox()
+    unbounded.try_admit(_request("holder"))
+    for n in range(10):
+        unbounded.try_admit(_request(f"c{n}", copy_epoch=1))
+    assert unbounded.shed_overflow() == []
+
+
+# ----------------------------------------------------------------------
+# integration: breaker divert -> dead letters -> replay, exactly once
+# ----------------------------------------------------------------------
+class Flaky(Actor):
+    healthy = False
+    executions: dict = {}
+
+    async def send(self, ctx, job):
+        if not Flaky.healthy:
+            raise RuntimeError("downstream unavailable")
+        Flaky.executions[job] = Flaky.executions.get(job, 0) + 1
+        return f"sent:{job}"
+
+
+class SlowProbe(Actor):
+    executions: dict = {}
+    healthy = False
+
+    async def send(self, ctx, job):
+        if not SlowProbe.healthy:
+            raise RuntimeError("downstream unavailable")
+        await ctx.sleep(0.5)
+        SlowProbe.executions[job] = SlowProbe.executions.get(job, 0) + 1
+        return f"sent:{job}"
+
+
+def test_breaker_diverts_to_dead_letters_and_replays_exactly_once():
+    Flaky.healthy = False
+    Flaky.executions = {}
+    kernel, app = make_app(
+        seed=11, breaker_threshold=3, breaker_cooldown=300.0
+    )
+    name = app.register_actor(Flaky)
+    app.add_component("w1", (name,))
+    client = app.client()
+    app.settle()
+    ref = actor_proxy(name, "gateway")
+
+    for n in range(3):
+        with pytest.raises(ActorMethodError):
+            app.run_call(ref, "send", f"warm{n}")
+
+    # Breaker is open on the worker: these divert to the parking lot.
+    parked_tasks = [
+        kernel.spawn(
+            client.invoke(None, ref, "send", (f"job{n}",), True),
+            client.process,
+            name=f"parked{n}",
+        )
+        for n in range(2)
+    ]
+    kernel.run(until=kernel.now + 3.0)
+    stats = app.overload_stats()
+    assert stats["dead_letter_depth"] == 2
+    assert stats["diverted"] == 2
+    assert stats["breakers_open"] == 1
+    for letter in stats["dead_letters"]:
+        assert letter["reason"] == "breaker_open"
+        assert letter["failure_history"]  # why the circuit tripped
+    assert not any(task.done() for task in parked_tasks)
+
+    Flaky.healthy = True
+    summary = app.redeliver_dead_letters()
+    assert summary == {
+        "parked": 2,
+        "replayed": 2,
+        "skipped_settled": 0,
+        "skipped_duplicate": 0,
+        "breakers_reset": 1,
+    }
+    results = kernel.run_until_complete(kernel.gather(parked_tasks), timeout=120.0)
+    assert sorted(results) == ["sent:job0", "sent:job1"]
+    assert Flaky.executions == {"job0": 1, "job1": 1}
+    stats = app.overload_stats()
+    assert stats["dead_letter_depth"] == 0
+    assert stats["dead_letters_replayed"] == 2
+    assert stats["breakers_closed"] == 1
+
+
+def test_halfopen_concurrent_arrivals_admit_one_probe_end_to_end():
+    SlowProbe.healthy = False
+    SlowProbe.executions = {}
+    kernel, app = make_app(
+        seed=12, breaker_threshold=2, breaker_cooldown=1.0
+    )
+    name = app.register_actor(SlowProbe)
+    app.add_component("w1", (name,))
+    client = app.client()
+    app.settle()
+    ref = actor_proxy(name, "gateway")
+
+    for n in range(2):
+        with pytest.raises(ActorMethodError):
+            app.run_call(ref, "send", f"warm{n}")
+    SlowProbe.healthy = True
+    kernel.run(until=kernel.now + 1.2)  # past the cooldown
+
+    # Three concurrent arrivals: the first becomes the half-open probe
+    # (and executes, slowly); the other two divert while it is in flight.
+    tasks = [
+        kernel.spawn(
+            client.invoke(None, ref, "send", (f"job{n}",), True),
+            client.process,
+            name=f"halfopen{n}",
+        )
+        for n in range(3)
+    ]
+    kernel.run_until_complete(tasks[0], timeout=30.0)
+    stats = app.overload_stats()
+    assert stats["dead_letter_depth"] == 2
+    assert stats["breakers_closed"] == 1  # the probe's success closed it
+    summary = app.redeliver_dead_letters()
+    assert summary["replayed"] == 2
+    results = kernel.run_until_complete(kernel.gather(tasks), timeout=120.0)
+    assert sorted(results) == ["sent:job0", "sent:job1", "sent:job2"]
+    assert SlowProbe.executions == {"job0": 1, "job1": 1, "job2": 1}
+
+
+def test_replay_of_settled_call_is_deduped():
+    kernel, app = make_app(seed=13)
+    name = app.register_actor(Latch)
+    app.add_component("w1", (name,))
+    client = app.client()
+    app.settle()
+    ref = actor_proxy(name, "x")
+    app.run_call(ref, "set", 41)
+    assert app.run_call(ref, "get") == 41
+
+    # Park a letter for the *settled* set(41) call (as a late straggler
+    # diverted before its duplicate-detection would have caught it).
+    topic = app.broker.topics[app.topic_name]
+    settled = next(
+        record.value
+        for record in topic.snapshot_unexpired(kernel.now)
+        if isinstance(record.value, Request) and record.value.method == "set"
+    )
+    letter = DeadLetter(
+        request=settled,
+        reason="breaker_open",
+        parked_at=kernel.now,
+        attempts=0,
+        failure_history=((kernel.now, "synthetic"),),
+        parked_by="test",
+    )
+    run(kernel, app.park_dead_letter(letter, client.member_id), client.process)
+    assert app.overload_stats()["dead_letter_depth"] == 1
+
+    summary = app.redeliver_dead_letters()
+    assert summary["skipped_settled"] == 1
+    assert summary["replayed"] == 0
+    kernel.run(until=kernel.now + 2.0)
+    # No double execution: the settled outcome is untouched.
+    assert app.run_call(ref, "get") == 41
+    assert app.overload_stats()["dead_letter_depth"] == 0
+
+
+# ----------------------------------------------------------------------
+# integration: poison pill parks at the redelivery limit, then replays
+# ----------------------------------------------------------------------
+class Poison(Actor):
+    healed = False
+    executions: dict = {}
+
+    async def run(self, ctx, job):
+        if not Poison.healed:
+            ctx._component.fail()  # crash the hosting component mid-method
+            await ctx.sleep(3600.0)  # never reached; the process is dead
+        Poison.executions[job] = Poison.executions.get(job, 0) + 1
+        return f"done:{job}"
+
+
+def test_poison_pill_parks_at_redelivery_limit_then_replays():
+    Poison.healed = False
+    Poison.executions = {}
+    kernel, app = make_app(seed=14, redelivery_limit=2)
+    name = app.register_actor(Poison)
+    app.add_component("victim", (name,))
+    client = app.client()
+    app.settle()
+    ref = actor_proxy(name, "p0")
+
+    task = kernel.spawn(
+        client.invoke(None, ref, "run", ("job",), True),
+        client.process,
+        name="poison-call",
+    )
+    # Supervisor loop: restart the victim whenever it dies, until the
+    # reconciler gives up on the request and parks it.
+    deadline = kernel.now + 120.0
+    while app.overload_stats()["dead_letter_depth"] == 0:
+        assert kernel.now < deadline, "poison request never parked"
+        if not app.components["victim"].alive:
+            app.restart_component("victim")
+        kernel.run(until=kernel.now + 0.5)
+
+    [letter] = app.overload_stats()["dead_letters"]
+    assert letter["reason"] == "redelivery_limit"
+    assert letter["attempts"] == 2
+    assert len(letter["failure_history"]) == 3  # two copies + the verdict
+    assert not task.done()
+
+    # Fault cleared: replay the parked call to exactly-once completion.
+    Poison.healed = True
+    if not app.components["victim"].alive:
+        app.restart_component("victim")
+    app.settle()
+    summary = app.redeliver_dead_letters()
+    assert summary["replayed"] == 1
+    assert kernel.run_until_complete(task, timeout=120.0) == "done:job"
+    assert Poison.executions == {"job": 1}
+    assert app.overload_stats()["dead_letter_depth"] == 0
+    kernel.run(until=kernel.now + 5.0)
+    assert app.unsettled_call_ids() == []
+
+
+# ----------------------------------------------------------------------
+# integration: jittered routing retries replace the fixed sleep
+# ----------------------------------------------------------------------
+def test_unplaced_call_is_backoff_paced_until_a_host_joins():
+    kernel, app = make_app(seed=15)
+    name = app.register_actor(Latch)
+    client = app.client()
+    app.settle()
+    ref = actor_proxy(name, "x")
+
+    # No component hosts Latch yet: routing retries under the budget.
+    task = kernel.spawn(
+        client.invoke(None, ref, "set", (7,), True),
+        client.process,
+        name="unplaced-call",
+    )
+    kernel.run(until=kernel.now + 2.0)
+    assert not task.done()
+    stats = app.overload_stats()
+    assert stats["retries_spent"] >= 1  # paced by the budget, not a constant
+
+    app.add_component("w1", (name,))
+    kernel.run_until_complete(task, timeout=60.0)
+    assert app.run_call(ref, "get") == 7

@@ -83,12 +83,19 @@ def test_theorems_hold_for_random_programs(program, root_actor, failures):
         max_states=150_000,
     ).explore(init)
     assert not result.truncated
-    # Every execution quiesces with a response for the root request.
+    # Some execution quiesces, and every quiescent state answers the root.
     assert result.quiescent
     for state in result.quiescent:
         assert state.response(0) is not None
         # No dangling processes at quiescence.
         assert len(state.ensemble) == 0
+    # Deadlocks (blocked cross-chain call cycles) need a failure: the
+    # retried caller re-issues its nested call with a fresh id behind a
+    # concurrently forked chain. Failure-free executions never deadlock.
+    if failures == 0:
+        assert not result.deadlocked
+    for state in result.deadlocked:
+        assert len(state.ensemble) > 0  # blocked processes, not lost work
 
 
 def test_tail_chain_returning_to_root_actor_under_failure():
@@ -152,8 +159,11 @@ def test_tail_cycle_revisiting_same_invocation_under_failure():
 @given(program=programs())
 @settings(max_examples=15, deadline=None)
 def test_cancellation_never_blocks_completion(program):
-    """With cancellation enabled, random programs still always quiesce
-    with the root answered (cancel only removes orphaned requests)."""
+    """With cancellation enabled, random programs still quiesce with the
+    root answered, and cancellation never *introduces* a deadlock: any
+    program that deadlocks with (cancel) enabled already deadlocks without
+    it (cancel only removes orphaned requests no process waits on, which
+    can only unblock an actor's queue, never block it)."""
     init = initial_state("a", "m0", 0, {"a": 0, "b": 0})
     result = Explorer(
         program,
@@ -165,3 +175,68 @@ def test_cancellation_never_blocks_completion(program):
     assert not result.truncated
     for state in result.quiescent:
         assert state.response(0) is not None
+    if result.deadlocked:
+        base = Explorer(
+            program,
+            max_failures=1,
+            monitors=make_monitors(),
+            max_states=150_000,
+        ).explore(init)
+        assert base.deadlocked
+
+
+def test_cross_chain_call_cycle_deadlock_is_classified():
+    """Regression (found by Hypothesis): a.m0 calls b.m1, which forks a
+    tell b.m2 that calls back into a. Kill 'a' after b.m1 responds: the
+    retried m0 re-issues its call with a fresh id, queueing on b *behind*
+    m2, while m2's call into a queues behind the retried m0 -- a genuine
+    cross-chain deadlock (KAR retries re-execute nested calls, Section
+    2.3). The explorer must report these stuck states as deadlocked, not
+    quiescent; completing interleavings still answer the root."""
+    program = ModelProgram()
+    program.define(
+        MethodDef(
+            "m0",
+            "v",
+            (
+                Assign("r", CallExpr(Lit("b"), "m1", Var("v"))),
+                Return(Var("r")),
+            ),
+        )
+    )
+    program.define(
+        MethodDef(
+            "m1",
+            "v",
+            (TellStmt(Lit("b"), "m2", Var("v")), Return(Lit(1))),
+        )
+    )
+    program.define(
+        MethodDef(
+            "m2",
+            "v",
+            (
+                Assign("r", CallExpr(Lit("a"), "m3", Var("v"))),
+                Return(Var("r")),
+            ),
+        )
+    )
+    program.define(MethodDef("m3", "v", (Return(Lit(3)),)))
+    for cancellation in (False, True):
+        init = initial_state("a", "m0", 0, {"a": 0, "b": 0})
+        result = Explorer(
+            program,
+            cancellation=cancellation,
+            max_failures=1,
+            monitors=make_monitors(),
+            max_states=150_000,
+        ).explore(init)
+        assert not result.truncated
+        assert result.deadlocked  # the cycle above, under one failure
+        for state in result.deadlocked:
+            assert state.response(0) is None
+            assert len(state.ensemble) == 2  # both chains hold a guard
+        assert result.quiescent
+        for state in result.quiescent:
+            assert state.response(0) is not None
+            assert len(state.ensemble) == 0
