@@ -65,3 +65,29 @@ def emit(name: str, text: str) -> None:
     print()
     print(text)
     save_report(name, text)
+
+
+def maybe_profile(name: str, fn, *args, **kwargs):
+    """Run ``fn`` -- under cProfile when ``REPRO_PROFILE=1``.
+
+    The profile's top functions (by cumulative time) print to stdout and
+    land in ``RESULTS_DIR/profile_<name>.txt``, so a hot-path hunt is one
+    environment variable away from any benchmark invocation::
+
+        REPRO_PROFILE=1 python benchmarks/run_bench_regression.py
+        REPRO_PROFILE=1 pytest benchmarks/bench_codec.py -s
+    """
+    if os.environ.get("REPRO_PROFILE") != "1":
+        return fn(*args, **kwargs)
+
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn, *args, **kwargs)
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(25)
+    emit(f"profile_{name}.txt", stream.getvalue().rstrip())
+    return result

@@ -23,19 +23,34 @@ the two batched rows and round trips against the unbatched row.
 
 from __future__ import annotations
 
+import gc
+import tempfile
+import tracemalloc
+
 from repro.core import Actor, KarApplication, KarConfig, actor_proxy
+from repro.persist import PersistenceConfig
 from repro.sim import Kernel
 from repro.bench import render_table
 
-from _shared import FULL, emit
+from _shared import FULL, emit, maybe_profile
 
 FAN_IN = 32
 CALLS = 60 if FULL else 15
+STATE_CALLS = 30 if FULL else 8
 
 
 class EchoActor(Actor):
     async def echo(self, ctx, payload):
         return payload
+
+
+class LedgerActor(Actor):
+    """A stateful actor: every call reads and writes persisted state."""
+
+    async def add(self, ctx, amount):
+        total = await ctx.state.get("total", 0)
+        await ctx.state.set_multiple({"total": total + amount, "last": amount})
+        return total + amount
 
 
 def run_fanout(label: str, **overrides) -> dict:
@@ -83,6 +98,87 @@ def measure_all():
     ]
 
 
+def run_stateful(label: str, codec: str, **overrides) -> dict:
+    """The stateful fan-in: every call pays store reads and writes, over
+    real sqlite persistence, so store round trips and durable bytes move.
+
+    Runs under tracemalloc so each row reports its allocation count; the
+    tracer's slowdown hits every row identically and simulated time cannot
+    see it.
+    """
+    import os
+    import time
+
+    with tempfile.TemporaryDirectory() as root:
+        kernel = Kernel(seed=12)
+        config = KarConfig.fast_test().with_overrides(
+            persistence=PersistenceConfig.sqlite(root, codec=codec),
+            **overrides,
+        )
+        app = KarApplication.fresh(kernel, config, name="fanout")
+        app.register_actor(LedgerActor, name="Ledger")
+        app.add_component("workers", ("Ledger",))
+        client = app.client()
+        app.settle()
+
+        refs = [actor_proxy("Ledger", f"l{i}") for i in range(FAN_IN)]
+        samples: list[float] = []
+        expected = sum(range(STATE_CALLS))
+        rts_before = app.store.round_trips
+
+        async def driver(ref):
+            total = 0
+            for n in range(STATE_CALLS):
+                start = kernel.now
+                total = await client.invoke(None, ref, "add", (n,), True)
+                samples.append(kernel.now - start)
+            assert total == expected
+
+        gc.collect()
+        tracemalloc.start()
+        before = tracemalloc.take_snapshot()
+        wall_start = time.perf_counter()
+        tasks = [
+            kernel.spawn(driver(ref), client.process, name=f"driver:{ref.id}")
+            for ref in refs
+        ]
+        kernel.run_until_complete(kernel.gather(tasks), timeout=3600.0)
+        wall_seconds = time.perf_counter() - wall_start
+        after = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+        kernel.check_no_crashes()
+
+        samples.sort()
+        calls = len(samples)
+        alloc_blocks = sum(
+            stat.count_diff
+            for stat in after.compare_to(before, "filename")
+            if stat.count_diff > 0
+        )
+        journal_bytes = os.path.getsize(os.path.join(root, "fanout.journal"))
+        stats = app.store_stats()
+        app.shutdown()
+        return {
+            "label": label,
+            "store_round_trips": app.store.round_trips - rts_before,
+            "largest_pipeline_batch": stats["largest_pipeline_batch"],
+            "median_ms": samples[calls // 2] * 1000.0,
+            "alloc_blocks_per_call": alloc_blocks / calls,
+            "journal_bytes": journal_bytes,
+            "wall_seconds": wall_seconds,
+        }
+
+
+def measure_stateful():
+    return [
+        run_stateful(
+            "legacy (json, unpipelined)", codec="json", store_pipeline=False
+        ),
+        run_stateful("pipelined (json)", codec="json"),
+        run_stateful("pipelined (binary)", codec="binary"),
+    ]
+
+
 def test_fanout_batching_amortizes_produce_round_trips(benchmark):
     rows = benchmark.pedantic(measure_all, rounds=1, iterations=1)
     by_label = {row["label"]: row for row in rows}
@@ -121,3 +217,53 @@ def test_fanout_batching_amortizes_produce_round_trips(benchmark):
     assert linger["largest_batch"] > 1
     # Zero linger already coalesces same-instant bursts for free.
     assert coalesce["round_trips"] <= unbatched["round_trips"]
+
+
+def test_stateful_pipeline_and_binary_codec_cut_store_costs(benchmark):
+    rows = benchmark.pedantic(
+        lambda: maybe_profile("fanout_stateful", measure_stateful),
+        rounds=1,
+        iterations=1,
+    )
+    by_label = {row["label"]: row for row in rows}
+    legacy = by_label["legacy (json, unpipelined)"]
+    piped = by_label["pipelined (json)"]
+    binary = by_label["pipelined (binary)"]
+
+    emit(
+        "throughput_fanout_stateful.txt",
+        render_table(
+            ["Configuration", "Store RTs", "Largest batch",
+             "Median call (ms)", "Allocs/call", "Journal bytes"],
+            [
+                (r["label"], r["store_round_trips"],
+                 r["largest_pipeline_batch"], round(r["median_ms"], 3),
+                 round(r["alloc_blocks_per_call"], 1), r["journal_bytes"])
+                for r in rows
+            ],
+            title=(
+                f"Stateful fan-in {FAN_IN} x {STATE_CALLS} calls over sqlite "
+                "persistence: store round trips, latency, and durable bytes"
+            ),
+            digits=3,
+        ),
+    )
+    benchmark.extra_info["legacy_store_round_trips"] = (
+        legacy["store_round_trips"]
+    )
+    benchmark.extra_info["pipelined_store_round_trips"] = (
+        piped["store_round_trips"]
+    )
+    benchmark.extra_info["binary_journal_bytes"] = binary["journal_bytes"]
+
+    # Headline: same-turn coalescing needs >= 3x fewer store round trips
+    # (in practice it is close to the fan-in factor itself).
+    assert legacy["store_round_trips"] >= 3 * piped["store_round_trips"]
+    assert piped["largest_pipeline_batch"] > 1
+    # Store connections are serial per client, so fewer round trips is
+    # fewer queueing turns: median call latency must improve.
+    assert piped["median_ms"] < legacy["median_ms"]
+    # The codec changes bytes, not round trips.
+    assert binary["store_round_trips"] == piped["store_round_trips"]
+    # Binary framing at least halves the durable journal.
+    assert binary["journal_bytes"] < piped["journal_bytes"] * 0.5

@@ -14,7 +14,9 @@ Usage::
         --baseline benchmarks/BENCH_baseline.json --output BENCH_results.json
 
 Gated metrics (higher = worse, fail above baseline * 1.10) cover the fan-in
-produce round trips and the lifecycle resident-footprint counts; the storm
+produce round trips, the stateful store round trips / median call latency /
+per-call allocation blocks / durable journal bytes, the codec encoded bytes
+and allocation blocks, and the lifecycle resident-footprint counts; the storm
 goodput ratio gates in the other direction (lower = worse, fail below
 baseline * 0.90 or the 3x absolute acceptance floor), and lost storm calls
 fail unconditionally. The rest are informational and tracked through the
@@ -35,6 +37,12 @@ GATED_HIGHER_IS_WORSE = (
     "fanout_unbatched_round_trips",
     "fanout_coalesce_round_trips",
     "fanout_linger_round_trips",
+    "fanout_stateful_store_round_trips",
+    "fanout_stateful_median_call_ms",
+    "fanout_stateful_alloc_blocks_per_call",
+    "fanout_stateful_journal_bytes",
+    "codec_binary_bytes",
+    "codec_binary_alloc_blocks",
     "lifecycle_peak_instances",
     "lifecycle_peak_mailboxes",
     "lifecycle_peak_handled",
@@ -68,6 +76,41 @@ def collect_metrics() -> dict[str, float]:
     metrics["fanout_linger_largest_batch"] = linger["largest_batch"]
     metrics["fanout_linger_median_call_ms"] = round(linger["median_ms"], 4)
     metrics["fanout_coalesce_median_call_ms"] = round(coalesce["median_ms"], 4)
+
+    print("running stateful fan-in workload ...", flush=True)
+    stateful_rows = {
+        row["label"]: row for row in bench_throughput_fanout.measure_stateful()
+    }
+    legacy = stateful_rows["legacy (json, unpipelined)"]
+    binary = stateful_rows["pipelined (binary)"]
+    metrics["fanout_stateful_store_round_trips"] = binary["store_round_trips"]
+    metrics["fanout_stateful_legacy_store_round_trips"] = (
+        legacy["store_round_trips"]
+    )
+    metrics["fanout_stateful_median_call_ms"] = round(binary["median_ms"], 4)
+    metrics["fanout_stateful_legacy_median_call_ms"] = round(
+        legacy["median_ms"], 4
+    )
+    metrics["fanout_stateful_alloc_blocks_per_call"] = round(
+        binary["alloc_blocks_per_call"], 4
+    )
+    metrics["fanout_stateful_journal_bytes"] = binary["journal_bytes"]
+    metrics["fanout_stateful_json_journal_bytes"] = legacy["journal_bytes"]
+
+    print("running codec microbenchmark ...", flush=True)
+    import bench_codec
+
+    codec_rows = bench_codec.measure_all()
+    json_codec, binary_codec = codec_rows["json"], codec_rows["binary"]
+    metrics["codec_binary_bytes"] = binary_codec["bytes"]
+    metrics["codec_json_bytes"] = json_codec["bytes"]
+    metrics["codec_binary_alloc_blocks"] = binary_codec["alloc_blocks"]
+    metrics["codec_json_alloc_blocks"] = json_codec["alloc_blocks"]
+    # Wall-clock ratio: informational here (runner noise); the absolute
+    # 3x floor is asserted by the bench_codec pytest layer.
+    metrics["codec_speedup_ratio"] = round(
+        json_codec["best_seconds"] / binary_codec["best_seconds"], 4
+    )
 
     print("running lifecycle churn workload ...", flush=True)
     _app, worker, _client, samples = bench_lifecycle_churn.run_churn()

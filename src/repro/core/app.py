@@ -298,6 +298,30 @@ class KarApplication:
             ),
         }
 
+    def store_stats(self) -> dict[str, int]:
+        """Store-side pipeline counters: latency-paying round trips vs.
+        operations landed -- the evidence surface for the pipelined-I/O
+        benchmarks, mirroring :meth:`transport_stats` for the send outbox."""
+        clients = [
+            c.store_client
+            for c in self.components.values()
+            if c.store_client is not None
+        ]
+        return {
+            "store_round_trips": self.store.round_trips,
+            "store_operations": self.store.operation_count,
+            "pipeline_batches": sum(
+                getattr(client, "batches_flushed", 0) for client in clients
+            ),
+            "pipeline_ops": sum(
+                getattr(client, "ops_pipelined", 0) for client in clients
+            ),
+            "largest_pipeline_batch": max(
+                (getattr(client, "largest_batch", 0) for client in clients),
+                default=0,
+            ),
+        }
+
     # ------------------------------------------------------------------
     # overload control: the dead-letter parking lot
     # ------------------------------------------------------------------

@@ -49,6 +49,17 @@ class KarConfig:
     # Upper bound on envelopes per batched produce round trip.
     send_batch_max: int = 64
 
+    # --- pipelined store I/O (kvstore/pipeline.py) --------------------------
+    # Coalesce the independent store operations a component issues within
+    # one event-loop turn into a single backend round trip (SQLite: one
+    # transaction; memory: one call run). Dependent operations -- a CAS
+    # loop's read-modify-write -- are sequential awaits and so land in
+    # distinct round trips by construction; per-operation futures and
+    # landing-time fencing keep the unpipelined semantics exactly.
+    store_pipeline: bool = True
+    # Upper bound on operations per pipelined store round trip.
+    store_batch_max: int = 64
+
     # --- feature flags ------------------------------------------------------
     placement_cache: bool = True  # Table 2 "no cache" disables this
     cancellation: bool = True  # Section 4.4: elide callees of dead callers

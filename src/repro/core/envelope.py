@@ -16,11 +16,19 @@ from dataclasses import dataclass, replace
 from typing import Any
 
 from repro.core.refs import ActorRef
+from repro.persist.framing import (
+    REQUEST_TYPE_ID,
+    RESPONSE_TYPE_ID,
+    register_frame_type,
+)
 
 __all__ = ["Request", "Response", "TailCall"]
 
+#: Binary-frame table id for TailCall (ids below 64 are runtime-reserved).
+TAILCALL_TYPE_ID = 4
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class Request:
     """An invocation request bound for the callee component's queue."""
 
@@ -82,7 +90,7 @@ class Request:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Response:
     """A result (or propagated error / synthetic cancellation) message."""
 
@@ -92,7 +100,7 @@ class Response:
     cancelled: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TailCall:
     """Sentinel returned from an actor method to request a tail call.
 
@@ -104,3 +112,8 @@ class TailCall:
     actor: ActorRef
     method: str
     args: tuple
+
+
+register_frame_type(Request, REQUEST_TYPE_ID)
+register_frame_type(Response, RESPONSE_TYPE_ID)
+register_frame_type(TailCall, TAILCALL_TYPE_ID)

@@ -36,6 +36,8 @@ from dataclasses import dataclass
 from random import Random
 from typing import TYPE_CHECKING, Any
 
+from repro.persist.framing import register_frame_type
+
 if TYPE_CHECKING:
     from repro.core.config import KarConfig
     from repro.core.envelope import Request
@@ -239,7 +241,7 @@ class CircuitBreaker:
         return self._move(BREAKER_CLOSED, now)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeadLetter:
     """One parked invocation: the original envelope plus its evidence.
 
@@ -272,6 +274,12 @@ class DeadLetter:
                 {"at": at, "error": error} for at, error in self.failure_history
             ],
         }
+
+
+#: Binary-frame table id for DeadLetter (ids below 64 are runtime-reserved).
+DEAD_LETTER_TYPE_ID = 6
+
+register_frame_type(DeadLetter, DEAD_LETTER_TYPE_ID)
 
 
 class OverloadGuard:

@@ -8,13 +8,16 @@ instantiate actors -- instantiation happens implicitly on first invocation.
 
 from __future__ import annotations
 
+import sys
 import zlib
 from dataclasses import dataclass
+
+from repro.persist.framing import ACTORREF_TYPE_ID, register_frame_type
 
 __all__ = ["ActorRef", "actor_proxy"]
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class ActorRef:
     """Reference to an actor instance: ``(type, instance id)``."""
 
@@ -30,6 +33,14 @@ class ActorRef:
         return f"{self.type}[{self.id}]"
 
 
+register_frame_type(ActorRef, ACTORREF_TYPE_ID)
+
+
 def actor_proxy(actor_type: str, instance_id: str) -> ActorRef:
-    """Synthesize a reference to an actor instance (``actor.proxy``)."""
-    return ActorRef(actor_type, instance_id)
+    """Synthesize a reference to an actor instance (``actor.proxy``).
+
+    The type string is interned: one actor type names thousands of refs,
+    requests, and placement keys, and sharing the object keeps the ref
+    equality checks on the dispatch hot path at pointer speed.
+    """
+    return ActorRef(sys.intern(actor_type), instance_id)

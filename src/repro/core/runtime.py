@@ -28,6 +28,7 @@ its working set, not its lifetime history.
 
 from __future__ import annotations
 
+import sys
 from typing import TYPE_CHECKING, Any
 
 from repro.core.actor import Actor
@@ -41,7 +42,7 @@ from repro.core.refs import ActorRef
 from repro.core.retention import RetentionSet
 from repro.core.router import Router
 from repro.core.state import ActorStateCache
-from repro.kvstore import FencedClientError
+from repro.kvstore import FencedClientError, PipelinedStoreClient
 from repro.mq import FencedMemberError, GenerationInfo
 from repro.sim import SimProcess
 
@@ -67,7 +68,9 @@ class Component:
         self.name = name
         self.actor_types = frozenset(actor_types)
         self.epoch = epoch
-        self.member_id = f"{name}#{epoch}"
+        # Interned: the member id names this incarnation in every request
+        # header, fence set, placement entry, and journal frame.
+        self.member_id = sys.intern(f"{name}#{epoch}")
         self.process = SimProcess(self.member_id)
         self.member = None
         self.store_client = None
@@ -127,7 +130,17 @@ class Component:
     # ------------------------------------------------------------------
     def start(self) -> "Component":
         self.member = self.coordinator.join(self.member_id, self.process)
-        self.store_client = self.app.store.client(self.member_id)
+        if self.config.store_pipeline:
+            # Same-turn store operations share one backend round trip; the
+            # flusher lives on this component's failure domain.
+            self.store_client = PipelinedStoreClient(
+                self.app.store,
+                self.member_id,
+                process=self.process,
+                batch_max=self.config.store_batch_max,
+            )
+        else:
+            self.store_client = self.app.store.client(self.member_id)
         self.placement = PlacementService(
             self.store_client, self.config.placement_cache
         )
@@ -200,7 +213,10 @@ class Component:
             request_id=request_id,
             step=0,
             actor=ref,
-            method=method,
+            # One method name is shared by every request, dedup key, and
+            # journal frame that mentions it; interning makes those copies
+            # one object and the hot-path comparisons pointer checks.
+            method=sys.intern(method),
             args=tuple(args),
             return_address=return_address,
             reply_to=reply_to,

@@ -13,12 +13,14 @@ from repro.kvstore.backend import (
     StoreBackend,
 )
 from repro.kvstore.errors import FencedClientError, StoreError
+from repro.kvstore.pipeline import PipelinedStoreClient
 from repro.kvstore.store import KVStore, StoreClient
 
 __all__ = [
     "FencedClientError",
     "KVStore",
     "MemoryStoreBackend",
+    "PipelinedStoreClient",
     "SqliteStoreBackend",
     "StoreBackend",
     "StoreClient",

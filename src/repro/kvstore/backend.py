@@ -19,7 +19,7 @@ from __future__ import annotations
 import sqlite3
 from typing import Any, Iterable
 
-from repro.persist import codec
+from repro.persist import codec, framing
 
 __all__ = ["MemoryStoreBackend", "SqliteStoreBackend", "StoreBackend"]
 
@@ -63,6 +63,13 @@ class StoreBackend:
 
     def keys(self, prefix: str = "") -> list[str]:
         raise NotImplementedError
+
+    def begin_batch(self) -> None:
+        """Bracket a pipelined batch: operations until ``end_batch`` belong
+        to one round trip (SQLite wraps them in a single transaction)."""
+
+    def end_batch(self) -> None:
+        """Close the bracket opened by ``begin_batch``."""
 
     def flush(self) -> None:
         """Durability barrier: persist everything accepted so far."""
@@ -119,14 +126,29 @@ class MemoryStoreBackend(StoreBackend):
 class SqliteStoreBackend(StoreBackend):
     """WAL-mode SQLite engine: one database file per application.
 
-    Values round-trip through the persist codec (JSON-tagged, pickle
-    fallback), so reads return reconstructed copies rather than the
-    original objects -- the semantics of any real out-of-process store.
+    Values round-trip through the persist layer, so reads return
+    reconstructed copies rather than the original objects -- the semantics
+    of any real out-of-process store. ``codec="json"`` stores tagged-JSON
+    text (the legacy format); ``codec="binary"`` stores headered binary
+    frames as BLOBs. Reads sniff the stored type (SQLite preserves the
+    storage class regardless of column affinity), so a database written
+    under either codec -- or a mix, across a codec switch -- always decodes.
     """
 
-    def __init__(self, path: str, synchronous: str = "NORMAL"):
+    def __init__(
+        self,
+        path: str,
+        synchronous: str = "NORMAL",
+        codec: str = "binary",
+    ):
         self.path = path
+        self.codec = codec
         self._closed = False
+        self._in_batch = False
+        self._binary = codec == "binary"
+        if codec not in ("json", "binary"):
+            raise ValueError(f"unknown store codec {codec!r}")
+        self._frame_cache = framing.FrameCache()
         self._conn = sqlite3.connect(path, isolation_level=None)
         if synchronous.upper() not in ("OFF", "NORMAL", "FULL", "EXTRA"):
             raise ValueError(f"bad synchronous pragma {synchronous!r}")
@@ -146,12 +168,12 @@ class SqliteStoreBackend(StoreBackend):
         row = self._conn.execute(
             "SELECT value FROM kv WHERE key = ?", (key,)
         ).fetchone()
-        return None if row is None else codec.loads(row[0])
+        return None if row is None else self._decode(row[0])
 
     def set(self, key: str, value: Any) -> None:
         self._conn.execute(
             "INSERT OR REPLACE INTO kv (key, value) VALUES (?, ?)",
-            (key, codec.dumps(value)),
+            (key, self._encode(value)),
         )
 
     def delete(self, key: str) -> bool:
@@ -163,24 +185,36 @@ class SqliteStoreBackend(StoreBackend):
             "SELECT value FROM kv_hash WHERE key = ? AND field = ?",
             (key, field),
         ).fetchone()
-        return None if row is None else codec.loads(row[0])
+        return None if row is None else self._decode(row[0])
 
     def hset(self, key: str, field: str, value: Any) -> None:
         self._conn.execute(
             "INSERT OR REPLACE INTO kv_hash (key, field, value)"
             " VALUES (?, ?, ?)",
-            (key, field, codec.dumps(value)),
+            (key, field, self._encode(value)),
         )
 
     def hset_many(self, key: str, mapping: dict[str, Any]) -> None:
         # One transaction: the batched write behind the single-round-trip
-        # ``hset_many`` store primitive.
+        # ``hset_many`` store primitive. Inside a pipelined batch the
+        # bracketing transaction is already open, so join it instead of
+        # nesting.
+        rows = [
+            (key, field, self._encode(value)) for field, value in mapping.items()
+        ]
+        if self._in_batch:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO kv_hash (key, field, value)"
+                " VALUES (?, ?, ?)",
+                rows,
+            )
+            return
         self._conn.execute("BEGIN")
         try:
             self._conn.executemany(
                 "INSERT OR REPLACE INTO kv_hash (key, field, value)"
                 " VALUES (?, ?, ?)",
-                [(key, field, codec.dumps(value)) for field, value in mapping.items()],
+                rows,
             )
         except BaseException:
             self._conn.execute("ROLLBACK")
@@ -195,7 +229,7 @@ class SqliteStoreBackend(StoreBackend):
         rows = self._conn.execute(
             "SELECT field, value FROM kv_hash WHERE key = ?", (key,)
         ).fetchall()
-        return {field: codec.loads(value) for field, value in rows}
+        return {field: self._decode(value) for field, value in rows}
 
     def hdel(self, key: str, field: str) -> bool:
         cursor = self._conn.execute(
@@ -210,6 +244,16 @@ class SqliteStoreBackend(StoreBackend):
     def keys(self, prefix: str = "") -> list[str]:
         rows = self._conn.execute("SELECT key FROM kv").fetchall()
         return sorted(key for (key,) in rows if key.startswith(prefix))
+
+    def begin_batch(self) -> None:
+        # One transaction per pipelined round trip: SQLite pays its page
+        # bookkeeping once for the whole batch.
+        self._conn.execute("BEGIN")
+        self._in_batch = True
+
+    def end_batch(self) -> None:
+        self._in_batch = False
+        self._conn.execute("COMMIT")
 
     def flush(self) -> None:
         self._conn.execute("PRAGMA wal_checkpoint(PASSIVE)")
@@ -231,4 +275,15 @@ class SqliteStoreBackend(StoreBackend):
             f" WHERE key = ? AND field IN ({placeholders})",
             (key, *names),
         ).fetchall()
-        return {field: codec.loads(value) for field, value in rows}
+        return {field: self._decode(value) for field, value in rows}
+
+    def _encode(self, value: Any) -> "bytes | str":
+        if self._binary:
+            return framing.dumps_frame(value, cache=self._frame_cache)
+        return codec.dumps(value)
+
+    @staticmethod
+    def _decode(stored: "bytes | str") -> Any:
+        # loads_frame dispatches on the stored form: BLOBs carry a frame
+        # header, TEXT is legacy tagged JSON.
+        return framing.loads_frame(stored)

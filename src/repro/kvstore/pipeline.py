@@ -1,0 +1,175 @@
+"""Pipelined store I/O: one round trip for a turn's worth of operations.
+
+PR 4's send outbox removed the per-envelope produce round trip; this module
+does the same for the store. A :class:`PipelinedStoreClient` is a drop-in
+replacement for :class:`~repro.kvstore.store.StoreClient` that enqueues
+each operation with its own future and lets a flusher coalesce everything
+issued within the same event-loop turn into a single backend round trip --
+on SQLite one transaction, on the memory backend one call run.
+
+Semantics are those of the unpipelined client:
+
+- every operation still resolves (or fails) individually through its own
+  future, so callers keep their sequential ``await`` style untouched;
+- *dependent* operations never reorder: a caller only issues its next
+  operation after the previous one resolved, which lands it in a later
+  round trip by construction, and operations within one round trip apply
+  in FIFO issue order inside a single kernel event -- CAS read-compare-
+  write stays atomic exactly as before;
+- fencing is still checked server-side per operation *when it lands*, so
+  an operation issued before the fence but landing after it fails, and a
+  fence mid-batch fails that operation and every later one in the batch
+  while the earlier results stand (the lingering-client contract).
+
+The win is round trips, which is the one cost simulated time can see: a
+component that issues N independent placement reads and evidence writes in
+one turn pays one store latency instead of N.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:
+    from repro.kvstore.store import KVStore
+    from repro.sim import SimProcess
+
+__all__ = ["PipelinedStoreClient"]
+
+
+class _PendingOp:
+    """One queued operation and the future resolved when it lands."""
+
+    __slots__ = ("apply", "args", "future")
+
+    def __init__(self, apply: Callable[..., Any], args: tuple, future: Any):
+        self.apply = apply
+        self.args = args
+        self.future = future
+
+
+class PipelinedStoreClient:
+    """A store connection that coalesces same-turn operations.
+
+    API-compatible with :class:`~repro.kvstore.store.StoreClient`; built by
+    ``Component.start`` when ``KarConfig.store_pipeline`` is on. The
+    flusher task runs on the owning component's failure domain, so a dead
+    component's queued operations die with it -- just like its outbox.
+    """
+
+    def __init__(
+        self,
+        store: "KVStore",
+        client_id: str,
+        process: "SimProcess | None" = None,
+        batch_max: int = 64,
+    ):
+        self.store = store
+        self.client_id = client_id
+        self.process = process
+        self.batch_max = batch_max
+        self._queue: list[_PendingOp] = []
+        self._flusher_running = False
+        # Evidence counters for the throughput benchmarks.
+        self.batches_flushed = 0
+        self.ops_pipelined = 0
+        self.largest_batch = 0
+
+    # ------------------------------------------------------------------
+    # the pipeline
+    # ------------------------------------------------------------------
+    def _submit(self, apply: Callable[..., Any], *args: Any) -> Any:
+        """Enqueue one operation; returns the future of its result."""
+        future = self.store.kernel.create_future()
+        self._queue.append(_PendingOp(apply, args, future))
+        if not self._flusher_running:
+            self._flusher_running = True
+            self.store.kernel.spawn(
+                self._flush(),
+                self.process,
+                name=f"store-pipeline:{self.client_id}",
+            )
+        return future
+
+    async def _flush(self) -> None:
+        """Drain the queue in FIFO batches, one round trip per batch.
+
+        The zero-delay sleep runs after everything already scheduled at
+        this instant, so operations issued anywhere in the current turn
+        share the first batch without adding simulated latency.
+        """
+        await self.store.kernel.sleep(0.0)
+        while self._queue:
+            limit = max(1, self.batch_max)
+            batch = self._queue[:limit]
+            del self._queue[: len(batch)]
+            await self._round_trip()
+            self._apply_batch(batch)
+        self._flusher_running = False
+
+    async def _round_trip(self) -> None:
+        await self.store.connection_round_trip(self.client_id)
+
+    def _apply_batch(self, batch: list[_PendingOp]) -> None:
+        """Apply one batch inside a single kernel event.
+
+        The backend brackets the batch (SQLite: one transaction); each
+        operation still passes the server-side fence check and resolves
+        its own future, in issue order.
+        """
+        self.batches_flushed += 1
+        self.ops_pipelined += len(batch)
+        self.largest_batch = max(self.largest_batch, len(batch))
+        backend = self.store.backend
+        backend.begin_batch()
+        try:
+            for op in batch:
+                try:
+                    self.store._check(self.client_id)
+                    result = op.apply(*op.args)
+                except Exception as error:  # noqa: BLE001 - routed to caller
+                    if not op.future.done():
+                        op.future.set_exception(error)
+                else:
+                    if not op.future.done():
+                        op.future.set_result(result)
+        finally:
+            backend.end_batch()
+
+    # ------------------------------------------------------------------
+    # the StoreClient surface
+    # ------------------------------------------------------------------
+    async def get(self, key: str) -> Any:
+        return await self._submit(self.store._get, key)
+
+    async def set(self, key: str, value: Any) -> None:
+        return await self._submit(self.store._set, key, value)
+
+    async def delete(self, key: str) -> bool:
+        return await self._submit(self.store._delete, key)
+
+    async def cas(self, key: str, expected: Any, value: Any) -> bool:
+        return await self._submit(self.store._cas, key, expected, value)
+
+    async def hget(self, key: str, field: str) -> Any:
+        return await self._submit(self.store._hget, key, field)
+
+    async def hset(self, key: str, field: str, value: Any) -> None:
+        return await self._submit(self.store._hset, key, field, value)
+
+    async def hset_many(self, key: str, mapping: dict[str, Any]) -> None:
+        return await self._submit(self.store._hset_many, key, dict(mapping))
+
+    async def hget_many(
+        self, key: str, fields: tuple[str, ...]
+    ) -> dict[str, Any]:
+        return await self._submit(self.store._hget_many, key, tuple(fields))
+
+    async def hgetall(self, key: str) -> dict[str, Any]:
+        return await self._submit(self.store._hgetall, key)
+
+    async def hdel(self, key: str, field: str) -> bool:
+        return await self._submit(self.store._hdel, key, field)
+
+    async def delete_hash(self, key: str) -> bool:
+        return await self._submit(self.store._del_hash, key)

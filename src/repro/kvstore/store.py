@@ -38,6 +38,11 @@ class KVStore:
         self.backend = backend if backend is not None else MemoryStoreBackend()
         self._fenced: set[str] = set()
         self.operation_count = 0
+        #: Latency-paying round trips clients made (each may carry a
+        #: pipelined batch of operations).
+        self.round_trips = 0
+        #: Per-connection busy horizon (see ``connection_round_trip``).
+        self._conn_free: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # connections and fencing
@@ -55,6 +60,25 @@ class KVStore:
 
     def is_fenced(self, client_id: str) -> bool:
         return client_id in self._fenced
+
+    async def connection_round_trip(self, client_id: str) -> None:
+        """One latency-paying round trip on ``client_id``'s connection.
+
+        A client's connection is serial -- one request/response in flight
+        at a time, like a real Redis connection: concurrent operations
+        from the same client queue behind each other. That queueing is
+        exactly the per-operation cost the pipelined client amortizes by
+        packing a whole event-loop turn's operations into one trip.
+        """
+        self.round_trips += 1
+        latency = self.latency.sample(self.kernel.rng)
+        now = self.kernel.now
+        start = self._conn_free.get(client_id, 0.0)
+        if start < now:
+            start = now
+        finish = start + latency
+        self._conn_free[client_id] = finish
+        await self.kernel.sleep(finish - now)
 
     # ------------------------------------------------------------------
     # synchronous core (used by clients after the latency wait)
@@ -125,8 +149,7 @@ class StoreClient:
         self.client_id = client_id
 
     async def _round_trip(self) -> None:
-        kernel = self.store.kernel
-        await kernel.sleep(self.store.latency.sample(kernel.rng))
+        await self.store.connection_round_trip(self.client_id)
 
     async def get(self, key: str) -> Any:
         await self._round_trip()

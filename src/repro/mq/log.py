@@ -24,12 +24,17 @@ from __future__ import annotations
 
 import json
 import os
+import struct
+import sys
 from typing import Any, Iterator
 
 from repro.mq.records import Record
-from repro.persist import codec
+from repro.persist import codec, framing
 
 __all__ = ["BrokerLog", "FileJournalLog", "MemoryBrokerLog"]
+
+#: Length prefix for binary journal frames.
+_U32 = struct.Struct("<I")
 
 
 class _PartitionImage:
@@ -156,17 +161,29 @@ class MemoryBrokerLog(BrokerLog):
 
 
 class FileJournalLog(BrokerLog):
-    """JSONL append journal with offset-indexed replay and compaction.
+    """Append-only file journal with offset-indexed replay and compaction.
 
-    Line shapes::
+    Two on-disk formats, selected by ``codec`` and *detected* on open:
+
+    - ``"json"`` -- the legacy JSONL format, one tagged-JSON object per
+      line::
 
         {"k":"r","t":topic,"p":partition,"o":offset,"ts":time,"v":wire}
         {"k":"c","t":topic,"p":partition,"keep":offset}      # compaction
         {"k":"d","t":topic,"p":partition}                     # drop
         {"k":"s","t":topic,"p":partition,"first":o,"next":o}  # bounds
 
-    Metadata lives beside the journal in ``<journal>.meta.json``, rewritten
-    atomically (it is tiny and changes only on rebalances and deploys).
+    - ``"binary"`` -- a 4-byte file header (the frame magic plus version
+      byte) followed by length-prefixed frames, each one entry tuple
+      (``("r", topic, partition, offset, ts, value)``, and the ``"c"`` /
+      ``"d"`` / ``"s"`` shapes above) in the binary framing codec.
+
+    A journal written in the other format replays identically -- the header
+    dispatches the reader -- and is then rewritten into the configured
+    format before new entries append; that rewrite is the whole migration
+    story for pre-binary journals. Metadata lives beside the journal in
+    ``<journal>.meta.json``, rewritten atomically (it is tiny and changes
+    only on rebalances and deploys).
     """
 
     def __init__(
@@ -175,34 +192,62 @@ class FileJournalLog(BrokerLog):
         fsync: bool = False,
         compact_min_records: int = 4096,
         compact_ratio: float = 0.5,
+        codec: str = "binary",
     ):
         super().__init__()
+        if codec not in ("json", "binary"):
+            raise ValueError(f"unknown journal codec {codec!r}")
         self.path = path
         self.meta_path = path + ".meta.json"
+        self.codec = codec
+        self._binary = codec == "binary"
         self._fsync = fsync
         self._compact_min_records = compact_min_records
         self._compact_ratio = compact_ratio
-        #: Record lines sitting in the file since the last rewrite.
+        #: Record entries sitting in the file since the last rewrite.
         self._disk_records = 0
-        #: Pre-encoded lines for the append in progress (see append_many).
-        self._staged_lines: list[str] | None = None
+        #: Pre-encoded entries for the append in progress (see append_many).
+        self._staged_lines: list[bytes] | None = None
+        #: Request-core memo shared by every frame this journal encodes.
+        self._frame_cache = framing.FrameCache()
         #: Full-file rewrites performed (the compaction evidence counter).
         self.rewrites = 0
-        self._load()
-        self._file = open(self.path, "a", encoding="utf-8")
+        #: Format conversions performed on open (0 or 1).
+        self.migrations = 0
+        loaded_format = self._load()
+        self._file = open(self.path, "ab")
+        if loaded_format is None:
+            if self._binary:
+                self._file.write(framing.MAGIC + bytes((framing.VERSION_BINARY,)))
+                self._flush_file()
+        elif loaded_format != codec:
+            self.rewrite()
+            self.migrations += 1
 
     # ------------------------------------------------------------------
     # replaying an existing journal
     # ------------------------------------------------------------------
-    def _load(self) -> None:
+    def _load(self) -> "str | None":
+        """Replay the journal file; returns the format found (or ``None``
+        for a missing/empty journal)."""
         if os.path.exists(self.meta_path):
             with open(self.meta_path, "r", encoding="utf-8") as handle:
                 self._meta = json.load(handle)
         if not os.path.exists(self.path):
-            return
-        good_end = 0  # byte offset past the last fully decoded line
+            return None
         with open(self.path, "rb") as handle:
-            raw_lines = handle.readlines()
+            data = handle.read()
+        if not data:
+            return None
+        if data[:3] == framing.MAGIC:
+            self._load_binary(data)
+            return "binary"
+        self._load_json(data)
+        return "json"
+
+    def _load_json(self, data: bytes) -> None:
+        good_end = 0  # byte offset past the last fully decoded line
+        raw_lines = data.splitlines(keepends=True)
         for index, raw in enumerate(raw_lines):
             line = raw.decode("utf-8", errors="replace").strip()
             if not line:
@@ -225,32 +270,90 @@ class FileJournalLog(BrokerLog):
             good_end += len(raw)
             kind = entry["k"]
             if kind == "r":
-                image = self._part(entry["t"], entry["p"])
-                record = Record(
-                    entry["p"],
-                    entry["o"],
-                    entry["ts"],
-                    codec.from_wire(entry["v"]),
+                self._apply(
+                    (
+                        "r",
+                        entry["t"],
+                        entry["p"],
+                        entry["o"],
+                        entry["ts"],
+                        codec.from_wire(entry["v"]),
+                    )
                 )
-                image.records.append(record)
-                image.next_offset = record.offset + 1
-                self._disk_records += 1
             elif kind == "c":
-                image = self._part(entry["t"], entry["p"])
-                keep = entry["keep"]
-                drop = keep - image.first_retained_offset
-                if drop > 0:
-                    del image.records[:drop]
-                    image.first_retained_offset = keep
-                    image.next_offset = max(image.next_offset, keep)
+                self._apply(("c", entry["t"], entry["p"], entry["keep"]))
             elif kind == "d":
-                self._parts.pop((entry["t"], entry["p"]), None)
+                self._apply(("d", entry["t"], entry["p"]))
             elif kind == "s":
-                image = self._part(entry["t"], entry["p"])
-                image.first_retained_offset = entry["first"]
-                image.next_offset = entry["next"]
+                self._apply(
+                    ("s", entry["t"], entry["p"], entry["first"], entry["next"])
+                )
             else:
                 raise ValueError(f"unknown journal line kind {kind!r}")
+
+    def _load_binary(self, data: bytes) -> None:
+        if data[3] != framing.VERSION_BINARY:
+            raise ValueError(
+                f"unknown binary journal version {data[3]} in {self.path!r}"
+            )
+        pos = 4
+        total = len(data)
+        while pos < total:
+            if pos + 4 > total:
+                break  # torn length prefix at the tail
+            (size,) = _U32.unpack_from(data, pos)
+            end = pos + 4 + size
+            if end > total:
+                break  # torn frame payload at the tail
+            try:
+                entry, consumed = framing.decode_value(data, pos + 4)
+                if consumed != end:
+                    raise framing.FramingError("frame length mismatch")
+            except framing.FramingError:
+                # Same contract as the JSONL loader: a bad final frame is
+                # the torn residue of a crash -- truncate and recover; a bad
+                # frame *followed by* intact bytes is corruption.
+                if end == total:
+                    break
+                raise ValueError(
+                    f"corrupt journal frame at byte {pos} in {self.path!r}"
+                ) from None
+            self._apply(entry)
+            pos = end
+        if pos < total:
+            # The torn entry was never acknowledged; drop it.
+            with open(self.path, "rb+") as handle:
+                handle.truncate(pos)
+
+    def _apply(self, entry: tuple) -> None:
+        """Apply one replayed journal entry to the in-memory image."""
+        kind = entry[0]
+        # One topic/partition string is shared by thousands of entries:
+        # interning keeps replay memory flat and key comparisons cheap.
+        topic = sys.intern(entry[1])
+        partition = sys.intern(entry[2])
+        if kind == "r":
+            image = self._part(topic, partition)
+            record = Record(partition, entry[3], entry[4], entry[5])
+            image.records.append(record)
+            image.next_offset = record.offset + 1
+            self._disk_records += 1
+        elif kind == "c":
+            image = self._part(topic, partition)
+            keep = entry[3]
+            drop = keep - image.first_retained_offset
+            if drop > 0:
+                del image.records[:drop]
+                image.first_retained_offset = keep
+                image.next_offset = max(image.next_offset, keep)
+        elif kind == "d":
+            self._parts.pop((topic, partition), None)
+        elif kind == "s":
+            image = self._part(topic, partition)
+            image.first_retained_offset = entry[3]
+            image.next_offset = entry[4]
+        else:
+            raise ValueError(f"unknown journal entry kind {kind!r}")
 
     # ------------------------------------------------------------------
     # durability hooks
@@ -265,44 +368,66 @@ class FileJournalLog(BrokerLog):
         finally:
             self._staged_lines = None
 
-    @staticmethod
-    def _record_line(topic: str, record: Record) -> str:
-        return json.dumps(
-            {
-                "k": "r",
-                "t": topic,
-                "p": record.partition,
-                "o": record.offset,
-                "ts": record.timestamp,
-                "v": codec.to_wire(record.value),
-            },
-            separators=(",", ":"),
-        )
+    def _record_line(self, topic: str, record: Record) -> bytes:
+        if self._binary:
+            return self._frame_bytes(
+                (
+                    "r",
+                    topic,
+                    record.partition,
+                    record.offset,
+                    record.timestamp,
+                    record.value,
+                )
+            )
+        return (
+            json.dumps(
+                {
+                    "k": "r",
+                    "t": topic,
+                    "p": record.partition,
+                    "o": record.offset,
+                    "ts": record.timestamp,
+                    "v": codec.to_wire(record.value),
+                },
+                separators=(",", ":"),
+            )
+            + "\n"
+        ).encode("utf-8")
+
+    def _frame_bytes(self, entry: tuple) -> bytes:
+        payload = framing.encode_value(entry, self._frame_cache)
+        return _U32.pack(len(payload)) + payload
+
+    def _control_line(self, json_obj: dict[str, Any], entry: tuple) -> bytes:
+        if self._binary:
+            return self._frame_bytes(entry)
+        return (json.dumps(json_obj, separators=(",", ":")) + "\n").encode("utf-8")
 
     def _persist_append(self, topic: str, records: list[Record]) -> None:
         # One write + flush per produce round trip: the batched-produce
         # path journals a whole batch in a single I/O burst.
         lines = self._staged_lines
         assert lines is not None and len(lines) == len(records)
-        self._file.write("\n".join(lines) + "\n")
+        self._file.write(b"".join(lines))
         self._flush_file()
         self._disk_records += len(records)
 
     def _persist_compact(self, topic: str, partition: str, keep_from: int) -> None:
         self._file.write(
-            json.dumps(
+            self._control_line(
                 {"k": "c", "t": topic, "p": partition, "keep": keep_from},
-                separators=(",", ":"),
+                ("c", topic, partition, keep_from),
             )
-            + "\n"
         )
         self._flush_file()
         self._maybe_rewrite()
 
     def _persist_drop(self, topic: str, partition: str) -> None:
         self._file.write(
-            json.dumps({"k": "d", "t": topic, "p": partition}, separators=(",", ":"))
-            + "\n"
+            self._control_line(
+                {"k": "d", "t": topic, "p": partition}, ("d", topic, partition)
+            )
         )
         self._flush_file()
         self._maybe_rewrite()
@@ -334,12 +459,16 @@ class FileJournalLog(BrokerLog):
         self.rewrite()
 
     def rewrite(self) -> None:
-        """Rewrite the journal with only the retained image (in place)."""
+        """Rewrite the journal with only the retained image (in place),
+        in the *configured* format -- this is also the migration step when
+        a journal opens in the other format."""
         tmp_path = self.path + ".tmp"
-        with open(tmp_path, "w", encoding="utf-8") as handle:
+        with open(tmp_path, "wb") as handle:
+            if self._binary:
+                handle.write(framing.MAGIC + bytes((framing.VERSION_BINARY,)))
             for (topic, partition), image in sorted(self._parts.items()):
                 handle.write(
-                    json.dumps(
+                    self._control_line(
                         {
                             "k": "s",
                             "t": topic,
@@ -347,18 +476,23 @@ class FileJournalLog(BrokerLog):
                             "first": image.first_retained_offset,
                             "next": image.next_offset,
                         },
-                        separators=(",", ":"),
+                        (
+                            "s",
+                            topic,
+                            partition,
+                            image.first_retained_offset,
+                            image.next_offset,
+                        ),
                     )
-                    + "\n"
                 )
                 for record in image.records:
-                    handle.write(self._record_line(topic, record) + "\n")
+                    handle.write(self._record_line(topic, record))
             handle.flush()
             if self._fsync:
                 os.fsync(handle.fileno())
         self._file.close()
         os.replace(tmp_path, self.path)
-        self._file = open(self.path, "a", encoding="utf-8")
+        self._file = open(self.path, "ab")
         self._disk_records = self.retained_records()
         self.rewrites += 1
 

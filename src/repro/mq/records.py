@@ -5,7 +5,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from repro.persist.framing import register_frame_type
+
 __all__ = ["Record"]
+
+#: Binary-frame table id for Record (ids below 64 are runtime-reserved).
+RECORD_TYPE_ID = 5
 
 
 @dataclass(frozen=True, slots=True)
@@ -24,3 +29,6 @@ class Record:
 
     def __repr__(self) -> str:
         return f"Record({self.partition}@{self.offset} t={self.timestamp:.3f})"
+
+
+register_frame_type(Record, RECORD_TYPE_ID)

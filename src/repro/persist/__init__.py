@@ -42,7 +42,13 @@ class PersistenceConfig:
 
     ``mode`` is ``"memory"`` or ``"sqlite"``. ``root`` names the directory
     holding the durable files (required for ``sqlite``); one store database
-    and one broker journal are created per application name. ``synchronous``
+    and one broker journal are created per application name. ``codec``
+    picks the wire encoding for durable bytes: ``"binary"`` (default) uses
+    the length-prefixed frames of :mod:`repro.persist.framing`; ``"json"``
+    keeps the legacy tagged-JSON text (greppable journals, slower and
+    larger). Either reader accepts files written by the other -- the frame
+    header's version byte dispatches -- and a journal found in the other
+    format is rewritten into the configured one on open. ``synchronous``
     sets the SQLite synchronous pragma (``"OFF"``/``"NORMAL"``/``"FULL"``);
     ``fsync_journal`` forces an ``os.fsync`` after every journal flush.
     The journal is rewritten in place (retention-driven compaction) once at
@@ -52,6 +58,7 @@ class PersistenceConfig:
 
     mode: str = "memory"
     root: str | None = None
+    codec: str = "binary"
     synchronous: str = "NORMAL"
     fsync_journal: bool = False
     compact_min_records: int = 4096
@@ -84,14 +91,21 @@ def build_persistence(
         from repro.kvstore.backend import SqliteStoreBackend
         from repro.mq.log import FileJournalLog
 
+        if config.codec not in ("json", "binary"):
+            raise ValueError(f"unknown persistence codec {config.codec!r}")
         store_path, journal_path = _paths(config, app_name)
         return (
-            SqliteStoreBackend(store_path, synchronous=config.synchronous),
+            SqliteStoreBackend(
+                store_path,
+                synchronous=config.synchronous,
+                codec=config.codec,
+            ),
             FileJournalLog(
                 journal_path,
                 fsync=config.fsync_journal,
                 compact_min_records=config.compact_min_records,
                 compact_ratio=config.compact_ratio,
+                codec=config.codec,
             ),
         )
     raise ValueError(f"unknown persistence mode {config.mode!r}")

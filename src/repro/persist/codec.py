@@ -27,7 +27,14 @@ import pickle
 from dataclasses import fields, is_dataclass
 from typing import Any
 
-__all__ = ["CodecError", "dumps", "from_wire", "loads", "to_wire"]
+__all__ = [
+    "CodecError",
+    "dumps",
+    "from_wire",
+    "loads",
+    "stable_sorted_wire",
+    "to_wire",
+]
 
 _TAG = "__kar__"
 
@@ -45,19 +52,30 @@ def to_wire(value: Any) -> Any:
     if isinstance(value, tuple):
         return {_TAG: "tuple", "items": [to_wire(item) for item in value]}
     if isinstance(value, dict):
-        if all(isinstance(key, str) for key in value) and _TAG not in value:
-            return {key: to_wire(item) for key, item in value.items()}
+        # Hot path: str-keyed dicts pass through as plain JSON objects.
+        # One O(1) hash probe rules out the tag collision, then a single
+        # pass both encodes and detects non-str keys -- the old shape
+        # (``all(isinstance(...))`` + ``_TAG not in value``) scanned every
+        # key once before encoding scanned them all again.
+        if _TAG not in value:
+            encoded: dict[str, Any] = {}
+            for key, item in value.items():
+                if not isinstance(key, str):
+                    break
+                encoded[key] = to_wire(item)
+            else:
+                return encoded
+        # A non-str key, or a user dict that *contains* the tag key: wrap
+        # as an item-list map so decoding reconstructs the original dict
+        # (including a literal "__kar__" entry) instead of misreading it
+        # as a marker object.
         return {
             _TAG: "map",
             "items": [[to_wire(key), to_wire(item)] for key, item in value.items()],
         }
     if isinstance(value, (set, frozenset)):
         kind = "set" if isinstance(value, set) else "frozenset"
-        try:
-            items = sorted(value)  # type: ignore[type-var]
-        except TypeError:
-            items = list(value)
-        return {_TAG: kind, "items": [to_wire(item) for item in items]}
+        return {_TAG: kind, "items": stable_sorted_wire(value)}
     if is_dataclass(value) and not isinstance(value, type):
         cls = type(value)
         return {
@@ -104,6 +122,33 @@ def dumps(value: Any) -> str:
 def loads(text: str) -> Any:
     """Inverse of :func:`dumps`."""
     return from_wire(json.loads(text))
+
+
+def stable_sorted_wire(value: "set[Any] | frozenset[Any]") -> list[Any]:
+    """Wire-encode a set's members in a hash-seed-independent order.
+
+    Identical states must produce identical journal bytes (the codec
+    equivalence tests compare encodings byte for byte), and Python's set
+    iteration order depends on the per-process hash seed. Totally ordered
+    member types sort directly; anything else -- mixed types, tuples of
+    mixed types, frozensets (whose ``<`` is subset *partial* order, which
+    ``sorted`` silently leaves seed-dependent) -- sorts by the canonical
+    JSON rendering of each member's wire form.
+    """
+    items = list(value)
+    if all(isinstance(item, str) for item in items) or all(
+        isinstance(item, (int, float)) and not isinstance(item, bool)
+        for item in items
+    ):
+        items.sort()
+        return [to_wire(item) for item in items]
+    wires = [to_wire(item) for item in items]
+    wires.sort(key=_canonical_sort_key)
+    return wires
+
+
+def _canonical_sort_key(wire: Any) -> str:
+    return json.dumps(wire, separators=(",", ":"), sort_keys=True)
 
 
 def _pickle_wire(value: Any) -> dict[str, str]:

@@ -462,14 +462,88 @@ def test_journal_replay_tolerates_torn_final_line(tmp_path):
 
 def test_journal_refuses_mid_file_corruption(tmp_path):
     harness = LogHarness("journal", tmp_path)
-    kernel, broker = make_broker(harness.open())
+    kernel, broker = make_broker(harness.open(codec="json"))
     run(kernel, broker.produce("t", "p1", "first", "prod"))
     harness.log.close()
     path = tmp_path / "conformance.journal"
     text = path.read_text()
     path.write_text('{"k":"r","t":"t","p":"p1","o":0,"ts":0.1,"v":"tor\n' + text)
     with pytest.raises(ValueError, match="corrupt journal line"):
+        harness.open(codec="json")
+
+
+def test_binary_journal_refuses_mid_file_corruption(tmp_path):
+    """A damaged frame with intact frames after it is corruption, not a
+    torn tail -- replay must refuse rather than silently drop records."""
+    harness = LogHarness("journal", tmp_path)
+    kernel, broker = make_broker(harness.open())
+    run(kernel, broker.produce("t", "p1", "first", "prod"))
+    run(kernel, broker.produce("t", "p1", "second", "prod"))
+    harness.log.close()
+    path = tmp_path / "conformance.journal"
+    data = bytearray(path.read_bytes())
+    data[8] = 0xFF  # first frame's leading opcode (after header + length)
+    path.write_bytes(bytes(data))
+    with pytest.raises(ValueError, match="corrupt journal frame"):
         harness.open()
+
+
+def test_binary_journal_tolerates_torn_final_frame(tmp_path):
+    """A partial trailing frame (crash mid-append) truncates away."""
+    harness = LogHarness("journal", tmp_path)
+    kernel, broker = make_broker(harness.open())
+    run(kernel, broker.produce("t", "p1", "acked", "prod"))
+    harness.log.close()
+    path = tmp_path / "conformance.journal"
+    data = path.read_bytes()
+    with open(path, "ab") as handle:
+        handle.write(data[4:25])  # replay a fragment of the first frame
+    log = harness.open()
+    kernel2 = Kernel(seed=7)
+    broker2 = Broker(kernel2, broker.config, log=log)
+    assert broker2.restore_from_log() == 1
+    run(kernel2, broker2.produce("t", "p1", "after", "prod"))
+    log2 = harness.reopen()
+    kernel3 = Kernel(seed=8)
+    broker3 = Broker(kernel3, broker.config, log=log2)
+    assert broker3.restore_from_log() == 2
+    values = [
+        r.value for r in broker3.topic("t").partition("p1").unexpired(0.0)
+    ]
+    assert values == ["acked", "after"]
+    harness.cleanup()
+
+
+def test_journal_codec_migration_round_trip(tmp_path):
+    """A journal written under one codec opens under the other: the
+    versioned reader replays it, then rewrites it into the configured
+    format (the pre-binary migration path)."""
+    harness = LogHarness("journal", tmp_path)
+    kernel, broker = make_broker(harness.open(codec="json"))
+    run(kernel, broker.produce("t", "p1", {"payload": (1, 2)}, "prod"))
+    run(kernel, broker.produce("t", "p2", "other", "prod"))
+    harness.log.close()
+    path = tmp_path / "conformance.journal"
+    assert path.read_bytes()[0:1] == b"{"  # legacy JSONL on disk
+
+    log = harness.open(codec="binary")
+    assert log.migrations == 1
+    assert path.read_bytes()[:3] == b"\xabKR"  # rewritten as binary
+    kernel2 = Kernel(seed=7)
+    broker2 = Broker(kernel2, broker.config, log=log)
+    assert broker2.restore_from_log() == 2
+    records = broker2.topic("t").partition("p1").unexpired(0.0)
+    assert [r.value for r in records] == [{"payload": (1, 2)}]
+
+    # And back: binary journals migrate to JSONL when configured.
+    harness.log.close()
+    log = harness.open(codec="json")
+    assert log.migrations == 1
+    assert path.read_bytes()[0:1] == b"{"
+    kernel3 = Kernel(seed=8)
+    broker3 = Broker(kernel3, broker.config, log=log)
+    assert broker3.restore_from_log() == 2
+    harness.cleanup()
 
 
 def test_unencodable_payload_fails_cleanly(tmp_path):
