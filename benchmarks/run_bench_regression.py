@@ -17,10 +17,11 @@ Gated metrics (higher = worse, fail above baseline * 1.10) cover the fan-in
 produce round trips, the stateful store round trips / median call latency /
 per-call allocation blocks / durable journal bytes, the codec encoded bytes
 and allocation blocks, and the lifecycle resident-footprint counts; the storm
-goodput ratio gates in the other direction (lower = worse, fail below
-baseline * 0.90 or the 3x absolute acceptance floor), and lost storm calls
-fail unconditionally. The rest are informational and tracked through the
-uploaded artifact.
+goodput ratio and the multi-worker scale-out speedups gate in the other
+direction (lower = worse, fail below baseline * 0.90 or the absolute
+acceptance floors: 3x storm goodput, 1.5x at two workers, 2x at four), and
+lost calls -- storm or scale-out -- fail unconditionally. The rest are
+informational and tracked through the uploaded artifact.
 """
 
 from __future__ import annotations
@@ -49,11 +50,19 @@ GATED_HIGHER_IS_WORSE = (
     "lifecycle_peak_settled",
 )
 #: Metrics where a decrease beyond the tolerance is a regression.
-GATED_LOWER_IS_WORSE = ("storm_goodput_ratio",)
+GATED_LOWER_IS_WORSE = (
+    "storm_goodput_ratio",
+    "scaleout_speedup_2w",
+    "scaleout_speedup_4w",
+)
 TOLERANCE = 0.10
 #: Absolute floor for the overload-guard storm protection, independent of
 #: what the baseline recorded (the acceptance criterion of the subsystem).
 STORM_RATIO_FLOOR = 3.0
+#: Absolute floors for multi-worker scaling, independent of the baseline
+#: (the acceptance criteria of the scale-out runtime).
+SCALEOUT_SPEEDUP_2W_FLOOR = 1.5
+SCALEOUT_SPEEDUP_4W_FLOOR = 2.0
 
 
 def collect_metrics() -> dict[str, float]:
@@ -150,6 +159,26 @@ def collect_metrics() -> dict[str, float]:
     metrics["storm_parked"] = storm["on"]["parked"]
     metrics["storm_replayed"] = storm["on"]["replayed"]
     metrics["storm_lost_calls"] = storm["on"]["lost"] + storm["off"]["lost"]
+
+    print("running multi-worker scale-out workload ...", flush=True)
+    import bench_scaleout
+
+    scaling = {row["workers"]: row for row in bench_scaleout.measure_scaling()}
+    single = scaling[1]["calls_per_s"]
+    for workers in (1, 2, 4):
+        metrics[f"scaleout_calls_per_s_{workers}w"] = round(
+            scaling[workers]["calls_per_s"], 1
+        )
+    metrics["scaleout_speedup_2w"] = round(
+        scaling[2]["calls_per_s"] / single, 4
+    )
+    metrics["scaleout_speedup_4w"] = round(
+        scaling[4]["calls_per_s"] / single, 4
+    )
+    kill_rows = bench_scaleout.measure_kill()
+    metrics["scaleout_lost_calls"] = sum(
+        row["lost_calls"] + row["double_commits"] for row in kill_rows
+    ) + sum(row["lost_calls"] for row in scaling.values())
     return metrics
 
 
@@ -170,6 +199,21 @@ def check(metrics: dict[str, float], baseline: dict[str, float]) -> list[str]:
         failures.append(
             f"storm_goodput_ratio {metrics.get('storm_goodput_ratio')} "
             f"below the {STORM_RATIO_FLOOR}x acceptance floor"
+        )
+    if metrics.get("scaleout_lost_calls", 0) != 0:
+        failures.append(
+            "multi-worker scale-out lost or duplicated calls (a worker "
+            "kill must settle every in-flight call exactly once)"
+        )
+    if metrics.get("scaleout_speedup_2w", 0.0) < SCALEOUT_SPEEDUP_2W_FLOOR:
+        failures.append(
+            f"scaleout_speedup_2w {metrics.get('scaleout_speedup_2w')} "
+            f"below the {SCALEOUT_SPEEDUP_2W_FLOOR}x acceptance floor"
+        )
+    if metrics.get("scaleout_speedup_4w", 0.0) < SCALEOUT_SPEEDUP_4W_FLOOR:
+        failures.append(
+            f"scaleout_speedup_4w {metrics.get('scaleout_speedup_4w')} "
+            f"below the {SCALEOUT_SPEEDUP_4W_FLOOR}x acceptance floor"
         )
     for name in GATED_LOWER_IS_WORSE:
         if name not in baseline:

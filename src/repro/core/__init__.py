@@ -15,6 +15,7 @@ Public surface:
 
 from repro.core.actor import Actor, ActorRegistry
 from repro.core.app import KarApplication
+from repro.core.cluster import KarCluster, KarWorker, WorkerLoop
 from repro.core.config import KarConfig
 from repro.core.context import ActorContext
 from repro.core.dispatcher import ActorMailbox
@@ -38,6 +39,7 @@ from repro.core.reminders import ReminderAPI
 from repro.core.retention import RetentionSet
 from repro.core.router import Router
 from repro.core.runtime import Component
+from repro.core.sharding import HashRing
 from repro.core.state import ActorStateAPI, ActorStateCache
 
 __all__ = [
@@ -53,10 +55,13 @@ __all__ = [
     "CircuitBreaker",
     "Component",
     "DeadLetter",
+    "HashRing",
     "InvocationCancelled",
     "KarApplication",
+    "KarCluster",
     "KarConfig",
     "KarError",
+    "KarWorker",
     "NoPlacementError",
     "OverloadGuard",
     "PlacementService",
@@ -67,5 +72,6 @@ __all__ = [
     "Response",
     "Router",
     "TailCall",
+    "WorkerLoop",
     "actor_proxy",
 ]

@@ -100,6 +100,9 @@ class KarApplication:
         self.ids = _IdGenerator("r" if self.boot == 1 else f"r{self.boot}.")
         self.components: dict[str, Component] = {}
         self.component_types: dict[str, frozenset[str]] = {}
+        #: Worker event loops keyed by worker id; populated by KarCluster
+        #: (empty in the classic single-loop mode).
+        self.workers: dict[str, Any] = {}
         self._epochs: dict[str, int] = self._restore_epochs()
         self._client: Component | None = None
         self._shutdown = False
@@ -201,9 +204,13 @@ class KarApplication:
         return self.registry.register(actor_class, name)
 
     def add_component(
-        self, name: str, actor_types: tuple[str, ...] = ()
+        self, name: str, actor_types: tuple[str, ...] = (), *, worker=None
     ) -> Component:
-        """Create and start a component announcing the given actor types."""
+        """Create and start a component announcing the given actor types.
+
+        ``worker`` optionally pins the component to a worker event loop
+        (scale-out mode; see :class:`~repro.core.cluster.KarCluster`).
+        """
         for actor_type in actor_types:
             if actor_type not in self.registry:
                 raise ValueError(f"actor type {actor_type!r} is not registered")
@@ -212,7 +219,7 @@ class KarApplication:
         epoch = self._epochs.get(name, -1) + 1
         self._epochs[name] = epoch
         self._record_epoch(name, epoch)
-        component = Component(self, name, tuple(actor_types), epoch)
+        component = Component(self, name, tuple(actor_types), epoch, worker=worker)
         self.components[name] = component
         self.component_types[name] = frozenset(actor_types)
         return component.start()
@@ -224,9 +231,14 @@ class KarApplication:
         """Abrupt fail-stop of a component (both paired processes)."""
         self.components[name].fail()
 
-    def restart_component(self, name: str) -> Component:
+    def restart_component(self, name: str, *, worker=None) -> Component:
         """Spawn a fresh incarnation (new member id, new queue) of a
-        previously-added component, as a restarted node's replicas would."""
+        previously-added component, as a restarted node's replicas would.
+
+        ``worker`` re-hosts the new incarnation on a specific worker event
+        loop (the scale-out handoff target); the new epoch's lease
+        acquisition fences whatever is left of the old incarnation.
+        """
         types = tuple(sorted(self.component_types[name]))
         old = self.components.get(name)
         if old is not None and old.alive:
@@ -234,7 +246,7 @@ class KarApplication:
         epoch = self._epochs[name] + 1
         self._epochs[name] = epoch
         self._record_epoch(name, epoch)
-        component = Component(self, name, types, epoch)
+        component = Component(self, name, types, epoch, worker=worker)
         self.components[name] = component
         return component.start()
 
@@ -280,8 +292,25 @@ class KarApplication:
 
     def live_component_names(self) -> list[str]:
         return sorted(
-            member.rsplit("#", 1)[0] for member in self.coordinator.members
+            member.rsplit("#", 1)[0]
+            for member in self.coordinator.member_ids()
         )
+
+    def stats(self) -> dict[str, Any]:
+        """The unified evidence surface: every counter family under one
+        roof, plus a per-worker breakdown in scale-out mode. The historical
+        accessors (``transport_stats`` et al.) remain as the per-family
+        views this dict is assembled from."""
+        return {
+            "transport": self.transport_stats(),
+            "store": self.store_stats(),
+            "persistence": self.persistence_stats(),
+            "overload": self.overload_stats(),
+            "workers": {
+                worker_id: worker.stats()
+                for worker_id, worker in self.workers.items()
+            },
+        }
 
     def transport_stats(self) -> dict[str, int]:
         """Aggregate transport counters across the broker and every current

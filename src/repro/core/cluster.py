@@ -1,0 +1,442 @@
+"""Multi-worker scale-out: N event loops over the shared durable backends.
+
+The paper's deployment (Section 5) is many sidecar processes sharing one
+Kafka and one Redis. This module reproduces that shape inside the simulator:
+
+- a :class:`KarWorker` is one worker event loop -- its own failure domain
+  (a :class:`~repro.sim.SimProcess`), its own
+  :class:`~repro.mq.GroupCoordinator` *view* onto the shared store-backed
+  group state, and a :class:`WorkerLoop` busy horizon that serializes the
+  CPU cost of every actor invocation it hosts (``KarConfig.
+  worker_loop_cost``). With a positive cost one worker is a genuine
+  throughput ceiling, and sharding components across N workers buys ~N x;
+- a :class:`KarCluster` is the control plane: it extends
+  :class:`~repro.core.app.KarApplication` with worker lifecycle (add,
+  graceful remove, kill), consistent-hash assignment of actor-hosting
+  components to workers (:mod:`repro.core.sharding`), worker failure
+  detection through store heartbeats, and the live partition-handoff
+  protocol.
+
+The handoff protocol (drain -> fence old epoch -> replay tail -> resume):
+
+1. **drain** -- the leaving component finishes in-flight frames and flushes
+   its send outbox (:meth:`~repro.core.runtime.Component.drain`), bounded
+   by ``drain_timeout``;
+2. **fence** -- the old incarnation leaves the group (or, on a crash, is
+   evicted by the session-timeout watchdog); either way the broker fences
+   its member id, and the successor's partition-lease acquisition at
+   ``epoch + 1`` fences whatever zombie survives even a cold restart;
+3. **replay tail** -- the rebalance elects a leader whose reconciliation
+   re-places every request stranded in the old incarnation's queue onto
+   the live membership (the paper's retry orchestration: dedup by
+   (request id, step) keeps the replay exactly-once);
+4. **resume** -- the leader lifts the group pause and traffic continues
+   against the new incarnation, whose placement entries are unchanged
+   (placement stores component *names*, so moving a component between
+   workers never invalidates where its actors live).
+
+Workers agree through the store, not through shared Python objects: the
+group state is CAS-bumped generations in the store backend, worker
+liveness is a heartbeat hash in the same store, and every coordinator view
+polls for foreign generations from its watchdog.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.app import KarApplication
+from repro.core.config import KarConfig
+from repro.core.runtime import Component
+from repro.core.sharding import HashRing
+from repro.kvstore import StoreBackend
+from repro.mq import BrokerLog, GroupCoordinator
+from repro.sim import Kernel, SimProcess
+
+__all__ = ["KarCluster", "KarWorker", "WorkerLoop"]
+
+
+class WorkerLoop:
+    """The busy horizon of one worker event loop.
+
+    Charges serialize: each one starts no earlier than the previous one
+    ended, so concurrent executions hosted on the same worker queue behind
+    each other exactly like coroutines on one OS event loop. A zero cost
+    returns without yielding to the scheduler, leaving single-loop runs
+    event-for-event identical to the pre-scale-out runtime.
+    """
+
+    def __init__(self, kernel: Kernel, cost: float):
+        self.kernel = kernel
+        self.cost = cost
+        self.busy_until = 0.0
+        self.calls_charged = 0
+        self.busy_seconds = 0.0
+
+    async def charge(self) -> None:
+        self.calls_charged += 1
+        if self.cost <= 0.0:
+            return
+        now = self.kernel.now
+        start = max(now, self.busy_until)
+        self.busy_until = start + self.cost
+        self.busy_seconds += self.cost
+        await self.kernel.sleep(self.busy_until - now)
+
+
+class KarWorker:
+    """One worker event loop: a failure domain hosting components.
+
+    The worker heartbeats into the shared store (`_cluster:<app>:heartbeats`)
+    so the control plane detects its death the same way the group detects a
+    member's -- by silence, observed through the shared backend.
+    """
+
+    def __init__(self, app: "KarCluster", worker_id: str):
+        self.app = app
+        self.worker_id = worker_id
+        self.kernel = app.kernel
+        self.process = SimProcess(f"worker:{worker_id}")
+        self.loop = WorkerLoop(app.kernel, app.config.worker_loop_cost)
+        #: This worker's own view onto the shared group state.
+        self.coordinator = GroupCoordinator(
+            app.broker, app.name, app.topic_name, state=app.coordinator.state
+        )
+        self.coordinator.ensure_watchdog()
+        #: Component names currently hosted on this loop.
+        self.hosted: set[str] = set()
+        #: Set on graceful removal; a retired worker takes no new components.
+        self.retired = False
+        self.kernel.spawn(
+            self._heartbeat_loop(),
+            self.process,
+            name=f"worker-heartbeat:{worker_id}",
+        )
+
+    @property
+    def alive(self) -> bool:
+        return self.process.alive
+
+    async def _heartbeat_loop(self) -> None:
+        interval = self.app.config.worker_heartbeat_interval
+        backend = self.app.store.backend
+        key = self.app.worker_heartbeat_key
+        while True:
+            backend.hset(key, self.worker_id, self.kernel.now)
+            await self.kernel.sleep(interval)
+
+    def stats(self) -> dict[str, Any]:
+        """Per-worker slice of the unified evidence surface."""
+        components = [
+            component
+            for component in self.app.components.values()
+            if component.worker is self
+        ]
+        live = [c for c in components if c.alive]
+        return {
+            "alive": self.alive,
+            "retired": self.retired,
+            "hosted": sorted(self.hosted),
+            "calls_charged": self.loop.calls_charged,
+            "busy_seconds": self.loop.busy_seconds,
+            "outbox_batches": sum(c.router.batches_flushed for c in live),
+            "outbox_records": sum(c.router.records_sent for c in live),
+        }
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return f"KarWorker({self.worker_id}, {state}, hosted={sorted(self.hosted)})"
+
+
+class KarCluster(KarApplication):
+    """A KAR application running as N worker event loops.
+
+    The cluster *is* a :class:`KarApplication` -- same broker, store, group,
+    client surface, and recovery machinery -- plus a control plane that
+    shards actor-hosting components across workers by consistent hashing
+    and migrates them on worker join, graceful leave, and crash. Client
+    components (no actor types) stay external, exactly like the paper's
+    simulators driving the deployment from outside.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        config: KarConfig | None = None,
+        name: str = "app",
+        workers: int = 2,
+        *,
+        store_backend: StoreBackend | None = None,
+        broker_log: BrokerLog | None = None,
+        worker_ids: tuple[str, ...] | None = None,
+    ):
+        super().__init__(
+            kernel,
+            config,
+            name,
+            store_backend=store_backend,
+            broker_log=broker_log,
+        )
+        self.worker_heartbeat_key = f"_cluster:{name}:heartbeats"
+        #: Workers the control plane declared failed (evidence surface).
+        self.workers_failed: list[str] = []
+        #: Component migrations performed (join/leave/crash re-hosting).
+        self.migrations = 0
+        ids = worker_ids or tuple(f"w{index}" for index in range(workers))
+        for worker_id in ids:
+            self.workers[worker_id] = KarWorker(self, worker_id)
+        kernel.spawn(self._control_loop(), name=f"cluster-control:{name}")
+
+    # ------------------------------------------------------------------
+    # worker-aware component hosting
+    # ------------------------------------------------------------------
+    def _live_workers(self) -> list[KarWorker]:
+        return [
+            worker
+            for worker in self.workers.values()
+            if worker.alive and not worker.retired
+        ]
+
+    def _assign_worker(self, name: str) -> KarWorker:
+        """Consistent-hash placement with bounded load.
+
+        Walks ``name``'s ring successors and takes the first live worker
+        whose hosted count is minimal -- ring-stable under membership
+        change, perfectly balanced under incremental adds.
+        """
+        live = self._live_workers()
+        if not live:
+            raise RuntimeError("no live workers to host components")
+        by_id = {worker.worker_id: worker for worker in live}
+        ring = HashRing(sorted(by_id))
+        floor = min(len(worker.hosted) for worker in live)
+        for worker_id in ring.successors(name):
+            if len(by_id[worker_id].hosted) <= floor:
+                return by_id[worker_id]
+        return by_id[next(iter(ring.successors(name)))]  # pragma: no cover
+
+    def add_component(
+        self, name: str, actor_types: tuple[str, ...] = (), *, worker=None
+    ) -> Component:
+        if worker is None and actor_types:
+            worker = self._assign_worker(name)
+        component = super().add_component(name, actor_types, worker=worker)
+        if worker is not None:
+            worker.hosted.add(name)
+        return component
+
+    def restart_component(self, name: str, *, worker=None) -> Component:
+        old = self.components.get(name)
+        if old is not None and old.worker is not None:
+            old.worker.hosted.discard(name)
+        if worker is None and self.component_types.get(name):
+            worker = self._assign_worker(name)
+        component = super().restart_component(name, worker=worker)
+        if worker is not None:
+            worker.hosted.add(name)
+        return component
+
+    def worker_of(self, component_name: str) -> str | None:
+        component = self.components.get(component_name)
+        if component is None or component.worker is None:
+            return None
+        return component.worker.worker_id
+
+    # ------------------------------------------------------------------
+    # worker lifecycle
+    # ------------------------------------------------------------------
+    def add_worker(self, worker_id: str | None = None) -> KarWorker:
+        """Start a new worker loop and migrate its ring share onto it."""
+        if worker_id is None:
+            index = len(self.workers)
+            while f"w{index}" in self.workers:
+                index += 1
+            worker_id = f"w{index}"
+        if worker_id in self.workers and self.workers[worker_id].alive:
+            raise ValueError(f"worker {worker_id!r} is already running")
+        worker = self.workers[worker_id] = KarWorker(self, worker_id)
+        self.kernel.spawn(
+            self._rebalance_components(),
+            name=f"cluster-join:{worker_id}",
+        )
+        return worker
+
+    def kill_worker(self, worker_id: str) -> None:
+        """Abrupt fail-stop of a worker loop and everything it hosts.
+
+        The group watchdog evicts the dead members on session timeout and
+        the control plane re-hosts their component names on the survivors;
+        reconciliation then replays the stranded tail of each migrated
+        partition.
+        """
+        worker = self.workers[worker_id]
+        self.trace.emit(
+            "worker.kill", worker=worker_id, hosted=sorted(worker.hosted)
+        )
+        for name in sorted(worker.hosted):
+            component = self.components.get(name)
+            if (
+                component is not None
+                and component.alive
+                and component.worker is worker
+            ):
+                component.process.kill()
+        worker.process.kill()
+
+    async def remove_worker_async(self, worker_id: str) -> None:
+        """Graceful leave: drain and hand off every hosted component, then
+        stop the worker loop. The settled set must match a crash's -- the
+        only difference is who pays (drain here, reconciliation there)."""
+        worker = self.workers[worker_id]
+        worker.retired = True
+        self.trace.emit(
+            "worker.retire", worker=worker_id, hosted=sorted(worker.hosted)
+        )
+        for name in sorted(worker.hosted):
+            component = self.components.get(name)
+            if component is None or component.worker is not worker:
+                worker.hosted.discard(name)
+                continue
+            await self._handoff(component)
+        worker.process.kill()
+
+    def remove_worker(
+        self, worker_id: str, timeout: float | None = 600.0
+    ) -> None:
+        """Synchronous driver for :meth:`remove_worker_async`."""
+        task = self.kernel.spawn(
+            self.remove_worker_async(worker_id),
+            name=f"cluster-leave:{worker_id}",
+        )
+        self.kernel.run_until_complete(task, timeout=timeout)
+
+    async def _handoff(self, component: Component) -> None:
+        """Drain -> fence old epoch -> (reconciliation replays the tail)
+        -> resume, for one component."""
+        name = component.name
+        drained = await component.drain(self.config.drain_timeout)
+        component.stop()
+        target = self._assign_worker(name)
+        self.trace.emit(
+            "component.handoff",
+            component=name,
+            drained=drained,
+            to_worker=target.worker_id,
+        )
+        self.migrations += 1
+        self.restart_component(name, worker=target)
+
+    # ------------------------------------------------------------------
+    # control loop: worker failure detection via store heartbeats
+    # ------------------------------------------------------------------
+    async def _control_loop(self) -> None:
+        config = self.config
+        backend = self.store.backend
+        while not self._shutdown:
+            await self.kernel.sleep(config.worker_heartbeat_interval)
+            if self._shutdown:
+                return
+            beats = backend.hgetall(self.worker_heartbeat_key)
+            now = self.kernel.now
+            for worker_id, worker in list(self.workers.items()):
+                if worker.retired:
+                    continue
+                last = float(beats.get(worker_id, 0.0))
+                if now - last > config.worker_session_timeout:
+                    self._on_worker_failed(worker)
+
+    def _on_worker_failed(self, worker: KarWorker) -> None:
+        """Re-host a silent worker's components on the survivors."""
+        worker.retired = True
+        self.workers_failed.append(worker.worker_id)
+        self.trace.emit(
+            "worker.failed",
+            worker=worker.worker_id,
+            hosted=sorted(worker.hosted),
+        )
+        for name in sorted(worker.hosted):
+            component = self.components.get(name)
+            if component is None or component.worker is not worker:
+                worker.hosted.discard(name)
+                continue
+            if component.alive:
+                # A worker that stopped heartbeating is dead by declaration;
+                # any still-running hosted process is a zombie to terminate
+                # (the paired-process rule applied at worker granularity).
+                component.process.kill()
+            self.migrations += 1
+            self.restart_component(name)
+        if worker.alive:
+            worker.process.kill()
+
+    async def _rebalance_components(self) -> None:
+        """Migrate components whose ring assignment moved (worker join)."""
+        live_ids = sorted(
+            worker.worker_id for worker in self._live_workers()
+        )
+        if not live_ids:
+            return
+        hosted_names = sorted(
+            name
+            for name, component in self.components.items()
+            if component.worker is not None and component.alive
+        )
+        desired = HashRing(live_ids).assign(hosted_names)
+        for name in hosted_names:
+            component = self.components.get(name)
+            if component is None or not component.alive:
+                continue
+            current = component.worker
+            target_id = desired[name]
+            if current is not None and current.worker_id == target_id:
+                continue
+            drained = await component.drain(self.config.drain_timeout)
+            component.stop()
+            if current is not None:
+                current.hosted.discard(name)
+            self.trace.emit(
+                "component.handoff",
+                component=name,
+                drained=drained,
+                to_worker=target_id,
+            )
+            self.migrations += 1
+            self.restart_component(
+                name, worker=self.workers[target_id]
+            )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        if self._shutdown:
+            return
+        for worker in self.workers.values():
+            worker.coordinator.close()
+            if worker.alive:
+                worker.process.kill()
+        super().shutdown()
+
+    def reopen(self) -> "KarCluster":
+        """Cold restart of the whole cluster over the same durable
+        backends, with the same worker topology."""
+        worker_ids = tuple(sorted(self.workers))
+        self.shutdown()
+        from repro.persist import reopen_persistence
+
+        store_backend, broker_log = reopen_persistence(
+            self.config.persistence,
+            self.name,
+            self.store.backend,
+            self.broker.log,
+        )
+        cluster = KarCluster(
+            self.kernel,
+            self.config,
+            self.name,
+            store_backend=store_backend,
+            broker_log=broker_log,
+            worker_ids=worker_ids,
+        )
+        cluster.registry = self.registry
+        return cluster

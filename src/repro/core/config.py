@@ -135,6 +135,22 @@ class KarConfig:
     # backoff path; first attempts are never shed. ``None`` = unbounded.
     mailbox_capacity: int | None = 256
 
+    # --- multi-worker scale-out (core/cluster.py) ----------------------------
+    # CPU cost charged to the hosting worker's event loop per actor
+    # invocation. Each worker serializes its charges on a busy horizon, so
+    # with a positive cost a single worker becomes the throughput ceiling
+    # and sharding components across N workers buys ~N x. The 0.0 default
+    # charges nothing -- single-loop runs are byte-identical to before.
+    worker_loop_cost: float = 0.0
+    # Worker heartbeat cadence into the shared store and the silence after
+    # which the cluster control plane declares a worker dead and re-hosts
+    # its components on the survivors.
+    worker_heartbeat_interval: float = 1.0
+    worker_session_timeout: float = 4.0
+    # How long a graceful handoff waits for the component to drain its
+    # in-flight work before fencing the old incarnation anyway.
+    drain_timeout: float = 30.0
+
     # --- reminders -----------------------------------------------------------
     reminder_tick: float = 0.5
 
@@ -163,4 +179,7 @@ class KarConfig:
             reminder_tick=0.1,
             maintenance_interval=0.5,
             dedup_retention_slack=5.0,
+            worker_heartbeat_interval=0.2,
+            worker_session_timeout=0.8,
+            drain_timeout=5.0,
         )

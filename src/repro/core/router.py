@@ -119,7 +119,9 @@ class Router:
         self._refresh_membership()
         cached = self._candidates.get(actor_type)
         if cached is None:
-            names = {m.rsplit("#", 1)[0] for m in self.coordinator.members}
+            names = {
+                m.rsplit("#", 1)[0] for m in self.coordinator.member_ids()
+            }
             component_types = self.component.app.component_types
             cached = self._candidates[actor_type] = sorted(
                 name
@@ -133,10 +135,20 @@ class Router:
         self._refresh_membership()
         if self._incarnations is None:
             table: dict[str, str] = {}
-            for member_id in self.coordinator.members:
-                table.setdefault(member_id.rsplit("#", 1)[0], member_id)
+            for member_id in self.coordinator.member_ids():
+                # During a handoff two incarnations can momentarily coexist
+                # in the membership; the newest epoch holds the lease.
+                base, _sep, epoch = member_id.rpartition("#")
+                held = table.get(base)
+                if held is None or int(epoch) > int(held.rpartition("#")[2]):
+                    table[base] = member_id
             self._incarnations = table
         return self._incarnations.get(component_name)
+
+    @property
+    def outbox_idle(self) -> bool:
+        """No envelopes waiting and no flush in flight (drain criterion)."""
+        return not self._outbox and not self._flusher_running
 
     # ------------------------------------------------------------------
     # the send outbox
@@ -347,7 +359,7 @@ class Router:
     def is_live_member(self, member_id: str) -> bool:
         """Whether ``member_id`` itself (not merely its component name) is
         still a group member -- the reply-to liveness check."""
-        return member_id in self.coordinator.members
+        return self.coordinator.is_member(member_id)
 
     async def _resolve_response_target(
         self, request: "Request"

@@ -63,11 +63,16 @@ class Component:
         name: str,
         actor_types: tuple[str, ...],
         epoch: int,
+        worker=None,
     ):
         self.app = app
         self.name = name
         self.actor_types = frozenset(actor_types)
         self.epoch = epoch
+        #: Hosting worker event loop (scale-out mode), or ``None`` when the
+        #: application runs single-loop. The worker supplies the group
+        #: coordinator *view* and the event-loop cost horizon.
+        self.worker = worker
         # Interned: the member id names this incarnation in every request
         # header, fence set, placement entry, and journal frame.
         self.member_id = sys.intern(f"{name}#{epoch}")
@@ -115,6 +120,8 @@ class Component:
 
     @property
     def coordinator(self):
+        if self.worker is not None:
+            return self.worker.coordinator
         return self.app.coordinator
 
     @property
@@ -129,6 +136,14 @@ class Component:
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "Component":
+        # Claim the partition family before consuming it: acquiring at this
+        # epoch fences any older incarnation still holding the lease (the
+        # handoff fence of the scale-out protocol). Epochs only grow, so in
+        # single-loop mode this is the same supersession restart_component
+        # always implied.
+        self.app.broker.acquire_partition_lease(
+            self.app.topic_name, self.name, self.member_id, self.epoch
+        )
         self.member = self.coordinator.join(self.member_id, self.process)
         if self.config.store_pipeline:
             # Same-turn store operations share one backend round trip; the
@@ -163,6 +178,44 @@ class Component:
         """Abrupt fail-stop of the paired app + runtime processes."""
         if self.process.alive:
             self.trace.emit("component.fail", member=self.member_id)
+            self.process.kill()
+
+    @property
+    def quiescent(self) -> bool:
+        """No frame executing, nothing queued, nothing awaiting transport."""
+        return (
+            all(mailbox.idle for mailbox in self._mailboxes.values())
+            and not self._pending_calls
+            and not self._parked
+            and self.router.outbox_idle
+        )
+
+    async def drain(self, timeout: float) -> bool:
+        """Graceful-handoff step one: wait for in-flight work to finish.
+
+        Polls until the component is quiescent or ``timeout`` simulated
+        seconds pass; returns whether quiescence was reached. A timed-out
+        drain is not an error -- the caller proceeds to fence the old
+        incarnation and reconciliation recovers whatever was cut off, the
+        same as a crash (that equivalence is exactly what the rebalance
+        edge tests pin down).
+        """
+        deadline = self.kernel.now + timeout
+        while self.kernel.now < deadline:
+            if self.quiescent:
+                return True
+            await self.kernel.sleep(0.01)
+        return self.quiescent
+
+    def stop(self) -> None:
+        """Graceful departure: leave the group (which fences this member),
+        then terminate the paired processes. Unlike :meth:`fail`, the
+        group learns immediately instead of waiting out a session timeout."""
+        if not self.process.alive:
+            return
+        self.trace.emit("component.stop", member=self.member_id)
+        self.coordinator.leave(self.member_id)
+        if self.process.alive:
             self.process.kill()
 
     def _suicide(self) -> None:
@@ -425,6 +478,10 @@ class Component:
     # ------------------------------------------------------------------
     async def _execute(self, request: Request) -> None:
         try:
+            if self.worker is not None:
+                # Event-loop contention: executions hosted on one worker
+                # serialize on its busy horizon (no-op at zero cost).
+                await self.worker.loop.charge()
             if self.overload is not None:
                 self.overload.clear_shed(request.dedup_key)
             kind, payload = await self._run_method(request)

@@ -15,8 +15,19 @@ parts of Kafka the paper relies on:
 """
 
 from repro.mq.broker import Broker, BrokerConfig, Topic
-from repro.mq.errors import FencedMemberError, MQError, StaleRouteError
-from repro.mq.group import GenerationInfo, GroupCoordinator, GroupMember
+from repro.mq.errors import (
+    FencedMemberError,
+    JournalLockedError,
+    MQError,
+    StaleLeaseError,
+    StaleRouteError,
+)
+from repro.mq.group import (
+    GenerationInfo,
+    GroupCoordinator,
+    GroupMember,
+    GroupState,
+)
 from repro.mq.log import BrokerLog, FileJournalLog, MemoryBrokerLog
 from repro.mq.records import Record
 
@@ -29,9 +40,12 @@ __all__ = [
     "GenerationInfo",
     "GroupCoordinator",
     "GroupMember",
+    "GroupState",
+    "JournalLockedError",
     "MQError",
     "MemoryBrokerLog",
     "Record",
+    "StaleLeaseError",
     "StaleRouteError",
     "Topic",
 ]

@@ -18,7 +18,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
-from repro.mq.errors import FencedMemberError, MQError
+from repro.mq.errors import FencedMemberError, MQError, StaleLeaseError
 from repro.mq.log import BrokerLog, MemoryBrokerLog
 from repro.mq.records import Record
 from repro.sim import Kernel, Latency
@@ -184,6 +184,9 @@ class Broker:
         self.log = log if log is not None else MemoryBrokerLog()
         self.topics: dict[str, Topic] = {}
         self._fenced: set[str] = set()
+        #: Per-partition-family ownership: (topic, base name) -> (owner
+        #: member id, epoch). See :meth:`acquire_partition_lease`.
+        self._leases: dict[tuple[str, str], tuple[str, int]] = {}
         self._append_waiters: dict[tuple[str, str], list] = {}
         #: Produce round trips (one per produce / produce_batch call).
         self.produce_count = 0
@@ -215,7 +218,63 @@ class Broker:
             partition.restore(records, first, next_offset)
             restored += len(records)
         self.restored_record_count += restored
+        for key, value in self.log.meta_items().items():
+            if key.startswith("lease:"):
+                lease_topic, base, owner, epoch = value
+                self._leases[(lease_topic, base)] = (owner, int(epoch))
         return restored
+
+    # ------------------------------------------------------------------
+    # partition ownership leases (cross-worker handoff fencing)
+    # ------------------------------------------------------------------
+    def acquire_partition_lease(
+        self, topic_name: str, base: str, owner: str, epoch: int
+    ) -> None:
+        """Claim ownership of the ``base`` partition family at ``epoch``.
+
+        A component incarnation ``base#epoch`` must hold the lease before
+        consuming its queue. Acquiring at a strictly higher epoch fences the
+        previous holder (its member id can no longer produce or fetch, and
+        any batch it has in flight is rejected whole); acquiring at an equal
+        or lower epoch raises :class:`StaleLeaseError` -- the acquirer lost
+        the handoff race and must terminate. Leases are durable: they are
+        mirrored into the broker log's metadata and restored on cold
+        restart, so a stale incarnation cannot sneak back in across a
+        process death.
+        """
+        current = self._leases.get((topic_name, base))
+        if current is not None:
+            held_owner, held_epoch = current
+            if epoch <= held_epoch:
+                raise StaleLeaseError(
+                    f"lease for {base!r} held by {held_owner!r} at epoch "
+                    f"{held_epoch}; cannot acquire at epoch {epoch}"
+                )
+            self.fence(held_owner)
+        self._leases[(topic_name, base)] = (owner, epoch)
+        self.log.set_meta(
+            f"lease:{topic_name}:{base}", [topic_name, base, owner, epoch]
+        )
+
+    def partition_lease(self, topic_name: str, base: str) -> tuple[str, int] | None:
+        return self._leases.get((topic_name, base))
+
+    def _check_lease(self, topic_name: str, client_id: str) -> None:
+        """Reject a client acting under a superseded partition lease.
+
+        Identities are ``base#epoch``; anything else (external clients,
+        pre-lease identities) passes. The check complements the fence set:
+        it also catches a stale incarnation after a cold restart, when the
+        in-memory fence set is empty but the durable lease survived.
+        """
+        base, sep, epoch_text = client_id.rpartition("#")
+        if not sep or not epoch_text.isdigit():
+            return
+        lease = self._leases.get((topic_name, base))
+        if lease is not None and int(epoch_text) < lease[1]:
+            raise StaleLeaseError(
+                f"{client_id!r} superseded by {lease[0]!r} at epoch {lease[1]}"
+            )
 
     # ------------------------------------------------------------------
     # fencing (forceful disconnection)
@@ -270,6 +329,7 @@ class Broker:
         await self.kernel.sleep(self.config.produce_latency.sample(self.kernel.rng))
         if client_id in self._fenced:
             raise FencedMemberError(client_id)
+        self._check_lease(topic_name, client_id)
         if guard is not None and not guard():
             raise MQError(f"append guard rejected {partition_name!r}")
         self.produce_count += 1
@@ -304,6 +364,9 @@ class Broker:
         await self.kernel.sleep(self.config.produce_latency.sample(self.kernel.rng))
         if client_id in self._fenced:
             raise FencedMemberError(client_id)
+        # A stale-epoch producer rejects the whole batch, exactly like a
+        # fenced one: the lease moved on, so none of its appends may land.
+        self._check_lease(topic_name, client_id)
         self.produce_count += 1
         verdicts: dict[str, bool] = {}
         outcomes: list[Record | MQError] = []
@@ -368,6 +431,7 @@ class Broker:
         await self.kernel.sleep(self.config.produce_latency.sample(self.kernel.rng))
         if client_id in self._fenced:
             raise FencedMemberError(client_id)
+        self._check_lease(topic_name, client_id)
         if guard is not None and not guard():
             raise MQError("append guard rejected transaction")
         records = []
@@ -404,6 +468,7 @@ class Broker:
         await self.kernel.sleep(self.config.consume_latency.sample(self.kernel.rng))
         if client_id in self._fenced:
             raise FencedMemberError(client_id)
+        self._check_lease(topic_name, client_id)
         self.consume_count += 1
         partition = self.topic(topic_name).partition(partition_name)
         return partition.read_from(offset, self.kernel.now, limit)

@@ -13,6 +13,18 @@ This module implements the failure-detection machinery of Section 4.2/4.3:
   run by the leader) calls :meth:`GroupCoordinator.resume` for that
   generation. A failure during reconciliation simply yields a newer
   generation whose leader restarts reconciliation.
+
+Scale-out: the authoritative group state -- membership set, generation
+counter, pause flag, and the latest :class:`GenerationInfo` -- lives in a
+:class:`GroupState` over a shared :class:`~repro.kvstore.backend.StoreBackend`
+rather than in any one Python object. Each worker event loop holds its own
+:class:`GroupCoordinator` *view* onto that state: views race generation
+bumps with a compare-and-swap (the loser adopts the winner's outcome) and
+observe foreign generations by polling the store from their watchdog, so
+workers on different loops agree without sharing in-process callbacks. A
+coordinator constructed without an explicit state (the single-loop legacy
+path, and the unit tests) gets a private in-memory backend and behaves
+exactly as before.
 """
 
 from __future__ import annotations
@@ -20,12 +32,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.kvstore.backend import MemoryStoreBackend, StoreBackend
 from repro.mq.broker import Broker
 from repro.mq.errors import FencedMemberError, MQError, StaleRouteError
+from repro.mq.log import BrokerLog
 from repro.mq.records import Record
 from repro.sim import Kernel, SimFuture, SimProcess
 
-__all__ = ["GenerationInfo", "GenerationRecord", "GroupCoordinator", "GroupMember"]
+__all__ = [
+    "GenerationInfo",
+    "GenerationRecord",
+    "GroupCoordinator",
+    "GroupMember",
+    "GroupState",
+]
 
 
 @dataclass(frozen=True)
@@ -63,30 +83,194 @@ class _MemberState:
     member: "GroupMember"
 
 
-class GroupCoordinator:
-    """Broker-side group state machine (never fails, like the broker)."""
+class GroupState:
+    """Durable group state shared by every coordinator view.
 
-    def __init__(self, broker: Broker, group_id: str, topic_name: str):
+    Keys live under ``_group:{group_id}:`` in a store backend. Membership
+    and the pause flag are *session* state -- they describe the running
+    processes, so a fresh boot wipes them (a cold restart must never
+    resurrect ghost members). The generation counter is *durable* state:
+    it is mirrored into the broker log's metadata (the historical carrier)
+    and restored from there, so recovery-copy epochs stay monotonic across
+    cold restarts even when the store backend itself was wiped.
+
+    All operations are synchronous backend calls: each runs inside one
+    kernel event, so the compare-and-swap generation bump is atomic across
+    views exactly like :meth:`KVStore._cas`.
+    """
+
+    def __init__(
+        self,
+        backend: StoreBackend | None,
+        log: BrokerLog,
+        group_id: str,
+    ):
+        self._backend: StoreBackend = (
+            backend if backend is not None else MemoryStoreBackend()
+        )
+        self._log = log
+        self._meta_key = f"group:{group_id}:generation"
+        prefix = f"_group:{group_id}:"
+        self._gen_key = prefix + "generation"
+        self._members_key = prefix + "members"
+        self._paused_key = prefix + "paused"
+        self._info_key = prefix + "info"
+        self._snapshot_key = prefix + "members_at_gen"
+        # Boot wipe: see the class docstring.
+        self._backend.delete_hash(self._members_key)
+        self._backend.delete(self._paused_key)
+        self._backend.delete(self._info_key)
+        self._backend.delete(self._snapshot_key)
+        self._backend.set(
+            self._gen_key, int(log.get_meta(self._meta_key) or 0)
+        )
+
+    # -- generation ----------------------------------------------------
+    @property
+    def generation(self) -> int:
+        return int(self._backend.get(self._gen_key) or 0)
+
+    def cas_generation(self, expected: int, new: int) -> bool:
+        """Atomically bump the generation iff it still equals ``expected``.
+
+        The winner of a racing rebalance advances the counter; losers see
+        ``False`` and adopt the winner's published :class:`GenerationInfo`.
+        """
+        if self.generation != expected:
+            return False
+        self._backend.set(self._gen_key, new)
+        self._log.set_meta(self._meta_key, new)
+        return True
+
+    # -- membership ----------------------------------------------------
+    def member_ids(self) -> tuple[str, ...]:
+        return tuple(sorted(self._backend.hgetall(self._members_key)))
+
+    def is_member(self, member_id: str) -> bool:
+        return self._backend.hget(self._members_key, member_id) is not None
+
+    def add_member(self, member_id: str) -> None:
+        self._backend.hset(self._members_key, member_id, True)
+
+    def remove_member(self, member_id: str) -> bool:
+        return self._backend.hdel(self._members_key, member_id)
+
+    def members_at_generation(self) -> set[str]:
+        return set(self._backend.get(self._snapshot_key) or ())
+
+    def set_members_at_generation(self, member_ids: set[str]) -> None:
+        self._backend.set(self._snapshot_key, sorted(member_ids))
+
+    # -- pause flag ----------------------------------------------------
+    @property
+    def paused(self) -> bool:
+        return bool(self._backend.get(self._paused_key))
+
+    def set_paused(self, flag: bool) -> None:
+        self._backend.set(self._paused_key, flag)
+
+    # -- published generation outcome ----------------------------------
+    def last_info(self) -> GenerationInfo | None:
+        stored = self._backend.get(self._info_key)
+        if stored is None:
+            return None
+        return GenerationInfo(
+            generation=int(stored["generation"]),
+            members=tuple(stored["members"]),
+            leader=stored["leader"],
+            failed=tuple(stored["failed"]),
+            joined=tuple(stored["joined"]),
+            reason=stored["reason"],
+            triggered_at=float(stored["triggered_at"]),
+            completed_at=float(stored["completed_at"]),
+        )
+
+    def set_last_info(self, info: GenerationInfo) -> None:
+        self._backend.set(
+            self._info_key,
+            {
+                "generation": info.generation,
+                "members": list(info.members),
+                "leader": info.leader,
+                "failed": list(info.failed),
+                "joined": list(info.joined),
+                "reason": info.reason,
+                "triggered_at": info.triggered_at,
+                "completed_at": info.completed_at,
+            },
+        )
+
+
+class GroupCoordinator:
+    """One view onto the group (broker-side machinery; never fails).
+
+    Every view shares the group's :class:`GroupState`; the ``members``
+    dict holds only the members *joined through this view* (their
+    heartbeat bookkeeping and handles live with the loop that runs them).
+    Membership queries (:meth:`member_ids`, :meth:`is_member`,
+    :attr:`live_members`) always consult the shared state, so append-time
+    guards and routing tables agree across views.
+    """
+
+    def __init__(
+        self,
+        broker: Broker,
+        group_id: str,
+        topic_name: str,
+        state: GroupState | None = None,
+    ):
         self.broker = broker
         self.kernel: Kernel = broker.kernel
         self.group_id = group_id
         self.topic_name = topic_name
+        #: Members joined through *this view* (local handles + heartbeats).
         self.members: dict[str, _MemberState] = {}
         # Generations survive the application: a coordinator rebuilt over a
         # durable broker log resumes numbering where the old group stopped,
         # so recovery-copy epochs stay monotonic across cold restarts.
-        self.generation = int(broker.log.get_meta(f"group:{group_id}:generation") or 0)
-        self.paused = False
+        self.state = (
+            state
+            if state is not None
+            else GroupState(None, broker.log, group_id)
+        )
         self._closed = False
         self.history: list[GenerationRecord] = []
         self._generation_listeners: list[Callable[[GenerationInfo], None]] = []
         self._resume_waiters: list[SimFuture] = []
-        self._last_membership: set[str] = set()
         self._rebalancing = False
         self._dirty = False
         self._trigger_time: float | None = None
         self._reasons: list[str] = []
         self._watchdog_started = False
+        #: Highest generation this view has delivered to its listeners.
+        self._seen_generation = self.state.generation
+
+    # ------------------------------------------------------------------
+    # store-backed surfaces (shared across views)
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        return self.state.generation
+
+    @property
+    def paused(self) -> bool:
+        return self.state.paused
+
+    def member_ids(self) -> tuple[str, ...]:
+        """The group-wide membership (all views), sorted."""
+        return self.state.member_ids()
+
+    def is_member(self, member_id: str) -> bool:
+        return self.state.is_member(member_id)
+
+    @property
+    def live_members(self) -> tuple[str, ...]:
+        return self.state.member_ids()
+
+    @property
+    def leader(self) -> str | None:
+        ordered = self.live_members
+        return ordered[0] if ordered else None
 
     # ------------------------------------------------------------------
     # membership
@@ -100,11 +284,13 @@ class GroupCoordinator:
         """
         self._closed = True
 
-    def join(self, member_id: str, process: SimProcess | None = None) -> "GroupMember":
+    def join(
+        self, member_id: str, process: SimProcess | None = None
+    ) -> "GroupMember":
         """Add a member; starts its heartbeat task and triggers a rebalance."""
         if self._closed:
             raise MQError(f"group {self.group_id!r} coordinator is closed")
-        if member_id in self.members:
+        if member_id in self.members or self.state.is_member(member_id):
             raise ValueError(f"duplicate member id {member_id!r}")
         if self.broker.is_fenced(member_id):
             raise FencedMemberError(member_id)
@@ -112,7 +298,8 @@ class GroupCoordinator:
         self.members[member_id] = _MemberState(
             member_id, process, self.kernel.now, member
         )
-        self._ensure_watchdog()
+        self.state.add_member(member_id)
+        self.ensure_watchdog()
         self.kernel.spawn(
             self._heartbeat_loop(member_id),
             process=process,
@@ -123,7 +310,7 @@ class GroupCoordinator:
 
     def leave(self, member_id: str) -> None:
         """Graceful departure (still fences, still triggers a rebalance)."""
-        if member_id in self.members:
+        if member_id in self.members or self.state.is_member(member_id):
             self._evict(member_id, reason="leave")
 
     def heartbeat(self, member_id: str) -> None:
@@ -131,17 +318,10 @@ class GroupCoordinator:
         if state is not None:
             state.last_heartbeat = self.kernel.now
 
-    def on_generation(self, listener: Callable[[GenerationInfo], None]) -> None:
+    def on_generation(
+        self, listener: Callable[[GenerationInfo], None]
+    ) -> None:
         self._generation_listeners.append(listener)
-
-    @property
-    def live_members(self) -> tuple[str, ...]:
-        return tuple(sorted(self.members))
-
-    @property
-    def leader(self) -> str | None:
-        ordered = self.live_members
-        return ordered[0] if ordered else None
 
     # ------------------------------------------------------------------
     # heartbeats and the eviction watchdog
@@ -152,11 +332,19 @@ class GroupCoordinator:
             self.heartbeat(member_id)
             await self.kernel.sleep(interval)
 
-    def _ensure_watchdog(self) -> None:
+    def ensure_watchdog(self) -> None:
+        """Start this view's watchdog task (idempotent).
+
+        Joining starts it implicitly; a view that hosts no members but must
+        still observe foreign generations (the cluster control plane) calls
+        this directly.
+        """
         if self._watchdog_started:
             return
         self._watchdog_started = True
-        self.kernel.spawn(self._watchdog_loop(), name=f"watchdog:{self.group_id}")
+        self.kernel.spawn(
+            self._watchdog_loop(), name=f"watchdog:{self.group_id}"
+        )
 
     async def _watchdog_loop(self) -> None:
         config = self.broker.config
@@ -172,12 +360,52 @@ class GroupCoordinator:
             ]
             for member_id in expired:
                 self._evict(member_id, reason="failure")
+            self._observe_store()
 
     def _evict(self, member_id: str, reason: str) -> None:
         """Remove and fence a member, then trigger the consensus phase."""
         self.members.pop(member_id, None)
+        self.state.remove_member(member_id)
         self.broker.fence(member_id)
         self._request_rebalance(reason)
+
+    # ------------------------------------------------------------------
+    # store observation (how a view learns about foreign generations)
+    # ------------------------------------------------------------------
+    def _observe_store(self) -> None:
+        """Deliver generations and unpauses decided by *other* views.
+
+        This is the cross-loop propagation path: a view that neither won
+        nor raced the rebalance sees the bump here -- observed from the
+        store, not from an in-process callback.
+        """
+        if not self._rebalancing:
+            info = self.state.last_info()
+            if info is not None and info.generation > self._seen_generation:
+                self._observe_generation(info)
+        if self._resume_waiters and not self.state.paused:
+            self._stamp_resumed(self.state.generation)
+            self._wake_resume_waiters()
+
+    def _observe_generation(self, info: GenerationInfo) -> None:
+        """Record and deliver one new generation on this view."""
+        self._seen_generation = info.generation
+        self.history.append(
+            GenerationRecord(
+                generation=info.generation,
+                reason=info.reason,
+                failed=info.failed,
+                joined=info.joined,
+                triggered_at=info.triggered_at,
+                completed_at=info.completed_at,
+            )
+        )
+        if not info.members:
+            # Empty group: nothing can reconcile; resume so future joiners
+            # start from a clean pause state.
+            self.resume(info.generation)
+        for listener in list(self._generation_listeners):
+            listener(info)
 
     # ------------------------------------------------------------------
     # rebalance (the paper's consensus phase)
@@ -190,7 +418,9 @@ class GroupCoordinator:
             return
         self._rebalancing = True
         self._trigger_time = self.kernel.now
-        self.kernel.spawn(self._rebalance(), name=f"rebalance:{self.group_id}")
+        self.kernel.spawn(
+            self._rebalance(), name=f"rebalance:{self.group_id}"
+        )
 
     async def _rebalance(self) -> None:
         config = self.broker.config
@@ -204,12 +434,38 @@ class GroupCoordinator:
                 break
         if self._closed:
             return
-        self.generation += 1
-        self.broker.log.set_meta(f"group:{self.group_id}:generation", self.generation)
-        current = set(self.members)
-        failed = tuple(sorted(self._last_membership - current))
-        joined = tuple(sorted(current - self._last_membership))
-        self._last_membership = current
+        info: GenerationInfo | None = None
+        while info is None:
+            expected = self.state.generation
+            current = set(self.state.member_ids())
+            if self.state.cas_generation(expected, expected + 1):
+                info = self._publish_generation(expected + 1, current)
+            else:
+                # Another view's rebalance won the bump. If its outcome
+                # already covers the current membership (our joiners landed
+                # before its snapshot), adopt it; otherwise retry the CAS
+                # for a generation of our own.
+                latest = self.state.last_info()
+                if (
+                    latest is not None
+                    and latest.generation == self.state.generation
+                    and set(latest.members) == set(self.state.member_ids())
+                ):
+                    info = latest
+        self._rebalancing = False
+        self._reasons = []
+        self._trigger_time = None
+        if info.generation > self._seen_generation:
+            self._observe_generation(info)
+
+    def _publish_generation(
+        self, generation: int, current: set[str]
+    ) -> GenerationInfo:
+        """Winner path: compute the membership delta and publish the info."""
+        previous = self.state.members_at_generation()
+        failed = tuple(sorted(previous - current))
+        joined = tuple(sorted(current - previous))
+        self.state.set_members_at_generation(current)
         if "failure" in self._reasons:
             reason = "failure"
         else:
@@ -218,41 +474,25 @@ class GroupCoordinator:
             triggered_at = self._trigger_time
         else:
             triggered_at = self.kernel.now
+        ordered = tuple(sorted(current))
         info = GenerationInfo(
-            generation=self.generation,
-            members=self.live_members,
-            leader=self.leader,
+            generation=generation,
+            members=ordered,
+            leader=ordered[0] if ordered else None,
             failed=failed,
             joined=joined,
             reason=reason,
             triggered_at=triggered_at,
             completed_at=self.kernel.now,
         )
-        self.history.append(
-            GenerationRecord(
-                generation=info.generation,
-                reason=info.reason,
-                failed=info.failed,
-                joined=info.joined,
-                triggered_at=info.triggered_at,
-                completed_at=info.completed_at,
-            )
-        )
-        self._rebalancing = False
-        self._reasons = []
-        self._trigger_time = None
-        if not self.members:
-            # Empty group: nothing can reconcile; resume so future joiners
-            # start from a clean pause state.
-            self.resume(self.generation)
-        for listener in list(self._generation_listeners):
-            listener(info)
+        self.state.set_last_info(info)
+        return info
 
     # ------------------------------------------------------------------
     # pause gate
     # ------------------------------------------------------------------
     def _pause(self) -> None:
-        self.paused = True
+        self.state.set_paused(True)
 
     def resume(self, generation: int) -> None:
         """Lift the pause for ``generation``; stale resumes are ignored.
@@ -261,15 +501,22 @@ class GroupCoordinator:
         failure arrived meanwhile, ``generation`` is stale and the newer
         generation's leader is responsible for resuming.
         """
-        if generation != self.generation or self._rebalancing:
+        if generation != self.state.generation or self._rebalancing:
             return
-        if not self.paused:
+        if not self.state.paused:
             return
-        self.paused = False
+        self.state.set_paused(False)
+        self._stamp_resumed(generation)
+        self._wake_resume_waiters()
+
+    def _stamp_resumed(self, generation: int) -> None:
         for record in reversed(self.history):
             if record.generation == generation:
-                record.resumed_at = self.kernel.now
+                if record.resumed_at is None:
+                    record.resumed_at = self.kernel.now
                 break
+
+    def _wake_resume_waiters(self) -> None:
         waiters, self._resume_waiters = self._resume_waiters, []
         for waiter in waiters:
             waiter.set_result(None)
@@ -328,7 +575,7 @@ class GroupMember:
                 partition_name,
                 value,
                 self.member_id,
-                guard=lambda: partition_name in self.coordinator.members,
+                guard=lambda: self.coordinator.is_member(partition_name),
             )
         except FencedMemberError:
             raise
@@ -346,13 +593,15 @@ class GroupMember:
         member left the group while the send was in flight (those appended
         nothing and must be re-routed individually -- the rest of the batch
         still landed). Guards are evaluated at append time, per partition.
-        A fenced sender raises :class:`FencedMemberError` for the whole
-        batch; nothing is appended.
+        A fenced or stale-epoch sender raises :class:`FencedMemberError`
+        for the whole batch; nothing is appended.
         """
         await self.coordinator.wait_unpaused()
         self._check_fenced()
-        guards = {
-            partition: (lambda p=partition: p in self.coordinator.members)
+        guards: dict[str, Callable[[], bool]] = {
+            partition: (
+                lambda p=partition: self.coordinator.is_member(p)  # type: ignore[misc]
+            )
             for partition, _value in entries
         }
         outcomes = await self.broker.produce_batch(
@@ -365,7 +614,9 @@ class GroupMember:
             for index, outcome in enumerate(outcomes)
         ]
 
-    async def send_transaction(self, entries: list[tuple[str, Any]]) -> list[Record]:
+    async def send_transaction(
+        self, entries: list[tuple[str, Any]]
+    ) -> list[Record]:
         """Atomically append to several queues (see produce_transaction)."""
         await self.coordinator.wait_unpaused()
         self._check_fenced()
@@ -375,7 +626,7 @@ class GroupMember:
                 entries,
                 self.member_id,
                 guard=lambda: all(
-                    partition in self.coordinator.members
+                    self.coordinator.is_member(partition)
                     or partition == self.member_id
                     for partition, _value in entries
                 ),
@@ -400,5 +651,7 @@ class GroupMember:
             if records:
                 self.position = records[-1].offset + 1
                 return records
-            waiter = self.broker.wait_for_append(self.topic_name, self.member_id)
+            waiter = self.broker.wait_for_append(
+                self.topic_name, self.member_id
+            )
             await waiter

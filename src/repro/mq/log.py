@@ -28,8 +28,14 @@ import struct
 import sys
 from typing import Any, Iterator
 
+from repro.mq.errors import JournalLockedError
 from repro.mq.records import Record
 from repro.persist import codec, framing
+
+try:  # advisory file locking is POSIX-only; elsewhere the guard is a no-op
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 __all__ = ["BrokerLog", "FileJournalLog", "MemoryBrokerLog"]
 
@@ -214,8 +220,12 @@ class FileJournalLog(BrokerLog):
         self.rewrites = 0
         #: Format conversions performed on open (0 or 1).
         self.migrations = 0
+        # Take the append lock *before* replaying: two workers must never
+        # interleave frames into one partition journal, so the second
+        # opener is rejected here, before it can observe (or disturb) the
+        # first opener's image.
+        self._file = self._open_locked()
         loaded_format = self._load()
-        self._file = open(self.path, "ab")
         if loaded_format is None:
             if self._binary:
                 self._file.write(framing.MAGIC + bytes((framing.VERSION_BINARY,)))
@@ -223,6 +233,26 @@ class FileJournalLog(BrokerLog):
         elif loaded_format != codec:
             self.rewrite()
             self.migrations += 1
+
+    def _open_locked(self) -> Any:
+        """Open the append handle and take an exclusive advisory lock.
+
+        ``flock`` is per open file description, so the guard also catches a
+        second :class:`FileJournalLog` over the same path inside one
+        process. The lock travels with the handle: it is released on
+        ``close`` and re-taken when :meth:`rewrite` reopens the journal.
+        """
+        handle = open(self.path, "ab")
+        if fcntl is not None:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                handle.close()
+                raise JournalLockedError(
+                    f"journal {self.path!r} is already locked by another "
+                    "opener; a partition journal admits exactly one appender"
+                ) from None
+        return handle
 
     # ------------------------------------------------------------------
     # replaying an existing journal
@@ -492,7 +522,7 @@ class FileJournalLog(BrokerLog):
                 os.fsync(handle.fileno())
         self._file.close()
         os.replace(tmp_path, self.path)
-        self._file = open(self.path, "ab")
+        self._file = self._open_locked()
         self._disk_records = self.retained_records()
         self.rewrites += 1
 

@@ -1,0 +1,216 @@
+"""Multi-worker scale-out: sharded hosting, worker lifecycle, handoff.
+
+Covers the cluster control plane (`repro.core.cluster`): consistent-hash
+assignment of components to worker loops, the unified ``app.stats()``
+evidence surface, worker crash detection + re-hosting, graceful removal,
+live migration on worker join, and exactly-once settlement across a
+mid-workload worker kill on both store backends.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Actor, KarCluster, KarConfig, actor_proxy
+from repro.persist import PersistenceConfig
+from repro.sim import Kernel
+
+
+class Echo(Actor):
+    async def ping(self, ctx, x):
+        return x + 1
+
+
+class Counter(Actor):
+    """Persistent accumulator with read-then-tail-write commit discipline."""
+
+    async def bump(self, ctx, amount):
+        total = await ctx.state.get("total", 0)
+        return ctx.tail_call(None, "commit", total + amount)
+
+    async def commit(self, ctx, total):
+        await ctx.state.set("total", total)
+        return total
+
+    async def get(self, ctx):
+        return await ctx.state.get("total", 0)
+
+
+def make_cluster(
+    seed=0, workers=2, components=4, mode="memory", tmp_path=None, **overrides
+):
+    kernel = Kernel(seed=seed)
+    config = KarConfig.fast_test().with_overrides(
+        worker_loop_cost=0.002, **overrides
+    )
+    if mode == "sqlite":
+        config = config.with_overrides(
+            persistence=PersistenceConfig(
+                mode="sqlite", root=str(tmp_path / "durable")
+            )
+        )
+    app = KarCluster(kernel, config, "cluster", workers=workers)
+    app.register_actor(Echo, "Echo")
+    app.register_actor(Counter, "Counter")
+    for index in range(components):
+        app.add_component(f"comp{index}", ("Echo", "Counter"))
+    app.client()
+    app.settle()
+    return kernel, app
+
+
+def drive_calls(kernel, app, ids, timeout=600.0):
+    client = app.client()
+
+    async def one(n):
+        return await client.invoke(
+            None, actor_proxy("Echo", f"a{n % 32}"), "ping", (n,), True
+        )
+
+    tasks = [kernel.spawn(one(n), process=client.process) for n in ids]
+    return kernel.run_until_complete(kernel.gather(tasks), timeout=timeout)
+
+
+# ----------------------------------------------------------------------
+# hosting & evidence surface
+# ----------------------------------------------------------------------
+def test_components_shard_across_workers_balanced():
+    kernel, app = make_cluster(components=6, workers=2)
+    placement = {name: app.worker_of(name) for name in app.components}
+    hosted = [w for w in placement.values() if w is not None]
+    assert len(hosted) == 6  # every actor-hosting component is assigned
+    assert placement["client"] is None  # clients stay external
+    per_worker = {w: hosted.count(w) for w in set(hosted)}
+    assert set(per_worker.values()) == {3}
+
+
+def test_unified_stats_reports_per_worker():
+    kernel, app = make_cluster()
+    drive_calls(kernel, app, range(20))
+    stats = app.stats()
+    assert set(stats) == {
+        "transport",
+        "store",
+        "persistence",
+        "overload",
+        "workers",
+    }
+    # The old accessors remain and agree with the unified surface.
+    assert stats["transport"] == app.transport_stats()
+    assert stats["store"] == app.store_stats()
+    assert stats["persistence"] == app.persistence_stats()
+    assert set(stats["workers"]) == {"w0", "w1"}
+    charged = sum(w["calls_charged"] for w in stats["workers"].values())
+    assert charged >= 20
+    assert all(w["busy_seconds"] > 0 for w in stats["workers"].values())
+
+
+def test_worker_loop_cost_serializes_executions():
+    kernel1, app1 = make_cluster(workers=1, components=8)
+    start = kernel1.now
+    drive_calls(kernel1, app1, range(100))
+    span1 = kernel1.now - start
+
+    kernel2, app2 = make_cluster(workers=2, components=8)
+    start = kernel2.now
+    drive_calls(kernel2, app2, range(100))
+    span2 = kernel2.now - start
+    assert span2 < span1 / 1.4  # two loops genuinely parallelize
+
+
+# ----------------------------------------------------------------------
+# worker lifecycle
+# ----------------------------------------------------------------------
+def test_worker_crash_rehosts_components_and_settles_in_flight():
+    kernel, app = make_cluster(components=4, workers=2)
+    victim = app.worker_of("comp0")
+    client = app.client()
+
+    async def one(n):
+        return await client.invoke(
+            None, actor_proxy("Echo", f"a{n % 32}"), "ping", (n,), True
+        )
+
+    tasks = [kernel.spawn(one(n), process=client.process) for n in range(40)]
+    kernel.run(until=kernel.now + 0.01)  # let calls take flight
+    app.kill_worker(victim)
+    results = kernel.run_until_complete(kernel.gather(tasks), timeout=600)
+    assert results == [n + 1 for n in range(40)]
+    kernel.run(until=kernel.now + 5.0)
+    assert app.unsettled_call_ids() == []
+    assert app.workers_failed == [victim]
+    survivors = {
+        app.worker_of(name)
+        for name in app.components
+        if name != "client"
+    }
+    assert victim not in survivors
+
+
+def test_graceful_remove_drains_and_hands_off():
+    kernel, app = make_cluster(components=4, workers=2)
+    drive_calls(kernel, app, range(10))
+    app.remove_worker("w0")
+    assert not app.workers["w0"].alive
+    assert app.workers["w0"].retired
+    # Every component now lives on the survivor and still serves calls.
+    hosted = {
+        app.worker_of(name) for name in app.components if name != "client"
+    }
+    assert hosted == {"w1"}
+    assert drive_calls(kernel, app, range(10, 20)) == [
+        n + 1 for n in range(10, 20)
+    ]
+    kernel.run(until=kernel.now + 5.0)
+    assert app.unsettled_call_ids() == []
+
+
+def test_add_worker_migrates_ring_share():
+    kernel, app = make_cluster(components=6, workers=1)
+    drive_calls(kernel, app, range(10))
+    assert {app.worker_of(f"comp{i}") for i in range(6)} == {"w0"}
+    app.add_worker("w1")
+    kernel.run(until=kernel.now + 10.0)
+    placement = {f"comp{i}": app.worker_of(f"comp{i}") for i in range(6)}
+    assert "w1" in set(placement.values())  # some components moved over
+    assert app.migrations > 0
+    assert drive_calls(kernel, app, range(10, 30)) == [
+        n + 1 for n in range(10, 30)
+    ]
+    kernel.run(until=kernel.now + 5.0)
+    assert app.unsettled_call_ids() == []
+
+
+# ----------------------------------------------------------------------
+# exactly-once across a mid-workload kill, both store backends
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("mode", ["memory", "sqlite"])
+def test_mid_workload_worker_kill_settles_exactly_once(mode, tmp_path):
+    kernel, app = make_cluster(
+        seed=3, components=4, workers=2, mode=mode, tmp_path=tmp_path
+    )
+    client = app.client()
+    counters = 8
+    bumps = 5
+
+    async def workflow(cid):
+        ref = actor_proxy("Counter", f"c{cid}")
+        for _ in range(bumps):
+            await client.invoke(None, ref, "bump", (1,), True)
+
+    tasks = [
+        kernel.spawn(workflow(cid), process=client.process)
+        for cid in range(counters)
+    ]
+    kernel.run(until=kernel.now + 0.05)  # workflows mid-flight
+    app.kill_worker("w0")
+    kernel.run_until_complete(kernel.gather(tasks), timeout=600)
+    kernel.run(until=kernel.now + 5.0)
+    assert app.unsettled_call_ids() == []
+    totals = [
+        app.run_call(actor_proxy("Counter", f"c{cid}"), "get")
+        for cid in range(counters)
+    ]
+    # Exactly once: every bump committed, none doubled by the recovery copy.
+    assert totals == [bumps] * counters
+    app.shutdown()

@@ -1,0 +1,44 @@
+"""Journal file locking: one appender per partition journal, ever."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mq import FileJournalLog, JournalLockedError
+from repro.mq.records import Record
+
+
+def test_second_opener_is_rejected_with_fencing_error(tmp_path):
+    path = str(tmp_path / "app.journal")
+    first = FileJournalLog(path)
+    first.append_many("t", [Record("p", 0, 0.0, "v")])
+    with pytest.raises(JournalLockedError):
+        FileJournalLog(path)
+    # The first opener is unaffected by the rejected attempt.
+    first.append_many("t", [Record("p", 1, 1.0, "w")])
+    assert first.retained_records() == 2
+    first.close()
+
+
+def test_lock_releases_on_close_and_survives_rewrite(tmp_path):
+    path = str(tmp_path / "app.journal")
+    first = FileJournalLog(path, compact_min_records=0, compact_ratio=1.0)
+    first.append_many("t", [Record("p", 0, 0.0, "v")])
+    # rewrite() replaces the file and must re-take the lock on the new one.
+    first.rewrite()
+    with pytest.raises(JournalLockedError):
+        FileJournalLog(path)
+    first.close()
+    # After a clean close the journal admits its next (single) opener.
+    second = FileJournalLog(path)
+    assert second.retained_records() == 1
+    second.close()
+
+
+def test_locks_are_per_path(tmp_path):
+    a = FileJournalLog(str(tmp_path / "a.journal"))
+    b = FileJournalLog(str(tmp_path / "b.journal"))
+    a.append_many("t", [Record("p", 0, 0.0, "v")])
+    b.append_many("t", [Record("p", 0, 0.0, "v")])
+    a.close()
+    b.close()
