@@ -19,9 +19,10 @@ per-call allocation blocks / durable journal bytes, the codec encoded bytes
 and allocation blocks, and the lifecycle resident-footprint counts; the storm
 goodput ratio and the multi-worker scale-out speedups gate in the other
 direction (lower = worse, fail below baseline * 0.90 or the absolute
-acceptance floors: 3x storm goodput, 1.5x at two workers, 2x at four), and
-lost calls -- storm or scale-out -- fail unconditionally. The rest are
-informational and tracked through the uploaded artifact.
+acceptance floors: 3x storm goodput, 1.5x at two workers, 2x at four, and
+1.5x adaptive-over-static under zipfian skew), and lost calls -- storm,
+scale-out, or zipf -- fail unconditionally. The rest are informational and
+tracked through the uploaded artifact.
 """
 
 from __future__ import annotations
@@ -54,6 +55,7 @@ GATED_LOWER_IS_WORSE = (
     "storm_goodput_ratio",
     "scaleout_speedup_2w",
     "scaleout_speedup_4w",
+    "zipf_adaptive_vs_static_ratio",
 )
 TOLERANCE = 0.10
 #: Absolute floor for the overload-guard storm protection, independent of
@@ -63,6 +65,9 @@ STORM_RATIO_FLOOR = 3.0
 #: (the acceptance criteria of the scale-out runtime).
 SCALEOUT_SPEEDUP_2W_FLOOR = 1.5
 SCALEOUT_SPEEDUP_4W_FLOOR = 2.0
+#: Absolute floor for adaptive placement vs static hashing under zipfian
+#: skew (the acceptance criterion of the placement controller).
+ZIPF_RATIO_FLOOR = 1.5
 
 
 def collect_metrics() -> dict[str, float]:
@@ -179,6 +184,24 @@ def collect_metrics() -> dict[str, float]:
     metrics["scaleout_lost_calls"] = sum(
         row["lost_calls"] + row["double_commits"] for row in kill_rows
     ) + sum(row["lost_calls"] for row in scaling.values())
+
+    print("running zipfian skew placement workload ...", flush=True)
+    import bench_zipf_skew
+
+    zipf = bench_zipf_skew.measure_all()
+    metrics["zipf_static_calls_per_s"] = round(
+        zipf["static"]["calls_per_s"], 1
+    )
+    metrics["zipf_adaptive_calls_per_s"] = round(
+        zipf["adaptive"]["calls_per_s"], 1
+    )
+    metrics["zipf_adaptive_vs_static_ratio"] = round(zipf["ratio"], 4)
+    metrics["zipf_adaptive_splits"] = zipf["adaptive"]["splits"]
+    metrics["zipf_adaptive_migrations"] = zipf["adaptive"]["migrations"]
+    metrics["zipf_lost_calls"] = sum(
+        row["lost_calls"] + row["double_commits"]
+        for row in (zipf["static"], zipf["adaptive"])
+    )
     return metrics
 
 
@@ -214,6 +237,20 @@ def check(metrics: dict[str, float], baseline: dict[str, float]) -> list[str]:
         failures.append(
             f"scaleout_speedup_4w {metrics.get('scaleout_speedup_4w')} "
             f"below the {SCALEOUT_SPEEDUP_4W_FLOOR}x acceptance floor"
+        )
+    if metrics.get("zipf_lost_calls", 0) != 0:
+        failures.append(
+            "zipfian skew workload lost or duplicated calls (adaptive "
+            "handoffs must preserve exactly-once settlement)"
+        )
+    if (
+        metrics.get("zipf_adaptive_vs_static_ratio", 0.0)
+        < ZIPF_RATIO_FLOOR
+    ):
+        failures.append(
+            "zipf_adaptive_vs_static_ratio "
+            f"{metrics.get('zipf_adaptive_vs_static_ratio')} below the "
+            f"{ZIPF_RATIO_FLOOR}x acceptance floor"
         )
     for name in GATED_LOWER_IS_WORSE:
         if name not in baseline:

@@ -15,7 +15,7 @@ Public surface:
 
 from repro.core.actor import Actor, ActorRegistry
 from repro.core.app import KarApplication
-from repro.core.cluster import KarCluster, KarWorker, WorkerLoop
+from repro.core.cluster import DecayingCounter, KarCluster, KarWorker, WorkerLoop
 from repro.core.config import KarConfig
 from repro.core.context import ActorContext
 from repro.core.dispatcher import ActorMailbox
@@ -34,12 +34,13 @@ from repro.core.overload import (
     RetryBudget,
 )
 from repro.core.placement import PlacementService
+from repro.core.placement_ctl import PlacementController
 from repro.core.refs import ActorRef, actor_proxy
 from repro.core.reminders import ReminderAPI
 from repro.core.retention import RetentionSet
 from repro.core.router import Router
 from repro.core.runtime import Component
-from repro.core.sharding import HashRing
+from repro.core.sharding import HashRing, parent_partition, sub_partition_names
 from repro.core.state import ActorStateAPI, ActorStateCache
 
 __all__ = [
@@ -55,6 +56,7 @@ __all__ = [
     "CircuitBreaker",
     "Component",
     "DeadLetter",
+    "DecayingCounter",
     "HashRing",
     "InvocationCancelled",
     "KarApplication",
@@ -64,6 +66,7 @@ __all__ = [
     "KarWorker",
     "NoPlacementError",
     "OverloadGuard",
+    "PlacementController",
     "PlacementService",
     "ReminderAPI",
     "Request",
@@ -74,4 +77,6 @@ __all__ = [
     "TailCall",
     "WorkerLoop",
     "actor_proxy",
+    "parent_partition",
+    "sub_partition_names",
 ]

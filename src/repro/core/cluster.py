@@ -43,17 +43,51 @@ polls for foreign generations from its watchdog.
 
 from __future__ import annotations
 
+import math
 from typing import Any
 
 from repro.core.app import KarApplication
 from repro.core.config import KarConfig
+from repro.core.placement_ctl import PlacementController
 from repro.core.runtime import Component
-from repro.core.sharding import HashRing
+from repro.core.sharding import HashRing, parent_partition, sub_partition_names
 from repro.kvstore import StoreBackend
 from repro.mq import BrokerLog, GroupCoordinator
 from repro.sim import Kernel, SimProcess
 
-__all__ = ["KarCluster", "KarWorker", "WorkerLoop"]
+__all__ = ["DecayingCounter", "KarCluster", "KarWorker", "WorkerLoop"]
+
+_LN2 = math.log(2.0)
+
+
+class DecayingCounter:
+    """An exponentially decaying accumulator (half-life in seconds).
+
+    Deposits fold the decay in lazily -- no ticking task -- so reading the
+    counter is pure arithmetic on (value, stamp). ``rate`` converts the
+    decayed mass into the steady input rate that would sustain it: a
+    constant inflow of ``r`` per second equilibrates at
+    ``r * halflife / ln 2``.
+    """
+
+    __slots__ = ("halflife", "_value", "_stamp")
+
+    def __init__(self, halflife: float):
+        self.halflife = halflife
+        self._value = 0.0
+        self._stamp = 0.0
+
+    def add(self, amount: float, now: float) -> None:
+        self._value = self.value(now) + amount
+        self._stamp = now
+
+    def value(self, now: float) -> float:
+        if self._value == 0.0:
+            return 0.0
+        return self._value * 0.5 ** ((now - self._stamp) / self.halflife)
+
+    def rate(self, now: float) -> float:
+        return self.value(now) * _LN2 / self.halflife
 
 
 class WorkerLoop:
@@ -64,24 +98,110 @@ class WorkerLoop:
     each other exactly like coroutines on one OS event loop. A zero cost
     returns without yielding to the scheduler, leaving single-loop runs
     event-for-event identical to the pre-scale-out runtime.
+
+    Besides the lifetime totals the loop keeps decaying *windows* -- busy
+    seconds and call counts, per loop and per hosted component -- which are
+    the load plane's signal: current hotness, not accumulated history.
     """
 
-    def __init__(self, kernel: Kernel, cost: float):
+    def __init__(self, kernel: Kernel, cost: float, halflife: float = 5.0):
         self.kernel = kernel
         self.cost = cost
+        self.halflife = halflife
         self.busy_until = 0.0
         self.calls_charged = 0
-        self.busy_seconds = 0.0
+        self.busy_seconds_total = 0.0
+        #: Set when the hosting worker wedges: charges stall forever (the
+        #: loop stops making progress) while heartbeats keep flowing.
+        self.stalled = False
+        self._busy_window = DecayingCounter(halflife)
+        self._component_busy: dict[str, DecayingCounter] = {}
+        self._component_calls: dict[str, DecayingCounter] = {}
 
-    async def charge(self) -> None:
+    async def charge(self, component: str | None = None) -> None:
+        if self.stalled:
+            # A wedged loop never schedules the execution; the stuck task
+            # dies with the component process when the control plane
+            # re-hosts it.
+            await self.kernel.create_future()
         self.calls_charged += 1
+        now = self.kernel.now
+        if component is not None:
+            self._window(self._component_calls, component).add(1.0, now)
         if self.cost <= 0.0:
             return
-        now = self.kernel.now
         start = max(now, self.busy_until)
         self.busy_until = start + self.cost
-        self.busy_seconds += self.cost
+        self.busy_seconds_total += self.cost
+        self._busy_window.add(self.cost, now)
+        if component is not None:
+            self._window(self._component_busy, component).add(self.cost, now)
         await self.kernel.sleep(self.busy_until - now)
+
+    def _window(
+        self, windows: dict[str, DecayingCounter], component: str
+    ) -> DecayingCounter:
+        window = windows.get(component)
+        if window is None:
+            window = windows[component] = DecayingCounter(self.halflife)
+        return window
+
+    # ------------------------------------------------------------------
+    # load plane readings
+    # ------------------------------------------------------------------
+    def busy_seconds(self, now: float) -> float:
+        """Decayed busy-seconds window (current hotness, not history)."""
+        return self._busy_window.value(now)
+
+    def busy_rate(self, now: float) -> float:
+        """Fraction of this loop currently consumed by charges (0..~1)."""
+        return self._busy_window.rate(now)
+
+    def component_loads(self, now: float) -> dict[str, dict[str, float]]:
+        """Per-component decayed load: calls/sec and busy-rate share."""
+        names = set(self._component_busy) | set(self._component_calls)
+        loads: dict[str, dict[str, float]] = {}
+        for name in sorted(names):
+            calls = self._component_calls.get(name)
+            busy = self._component_busy.get(name)
+            loads[name] = {
+                "calls_per_s": calls.rate(now) if calls is not None else 0.0,
+                "busy_rate": busy.rate(now) if busy is not None else 0.0,
+            }
+        return loads
+
+    def forget_component(self, name: str) -> None:
+        """Drop a migrated-away component's windows so its old host stops
+        reporting phantom load for it."""
+        self._component_busy.pop(name, None)
+        self._component_calls.pop(name, None)
+
+    def export_component(
+        self, name: str
+    ) -> tuple[DecayingCounter | None, DecayingCounter | None]:
+        """Detach a component's load windows for transfer to another loop.
+
+        A migration must *carry* the component's load history: resetting
+        it on every move makes the hottest component look perpetually cool
+        right after each handoff, so the controller keeps migrating the
+        hotspot instead of ever seeing it cross the split threshold.
+        """
+        return (
+            self._component_busy.pop(name, None),
+            self._component_calls.pop(name, None),
+        )
+
+    def adopt_component(
+        self,
+        name: str,
+        windows: tuple[DecayingCounter | None, DecayingCounter | None],
+    ) -> None:
+        """Install load windows exported from the previous host."""
+        busy, calls = windows
+        if busy is not None:
+            self._component_busy[name] = busy
+        if calls is not None:
+            self._component_calls[name] = calls
 
 
 class KarWorker:
@@ -97,7 +217,15 @@ class KarWorker:
         self.worker_id = worker_id
         self.kernel = app.kernel
         self.process = SimProcess(f"worker:{worker_id}")
-        self.loop = WorkerLoop(app.kernel, app.config.worker_loop_cost)
+        self.loop = WorkerLoop(
+            app.kernel,
+            app.config.worker_loop_cost,
+            halflife=app.config.load_halflife,
+        )
+        #: A wedged worker keeps heartbeating (its processes are alive) but
+        #: its loop stalls and its leases stop renewing -- the failure mode
+        #: only the lease TTL sweep can detect.
+        self.wedged = False
         #: This worker's own view onto the shared group state.
         self.coordinator = GroupCoordinator(
             app.broker, app.name, app.topic_name, state=app.coordinator.state
@@ -125,6 +253,18 @@ class KarWorker:
             backend.hset(key, self.worker_id, self.kernel.now)
             await self.kernel.sleep(interval)
 
+    def wedge(self) -> None:
+        """Wedge this worker: heartbeats keep flowing, progress stops.
+
+        Models a live-but-stuck event loop (GC death spiral, hung syscall
+        on the hot path): the heartbeat task still runs, so session-timeout
+        detection never fires; only the partition leases going unrenewed
+        reveals the worker is not actually doing work.
+        """
+        self.wedged = True
+        self.loop.stalled = True
+        self.app.trace.emit("worker.wedge", worker=self.worker_id)
+
     def stats(self) -> dict[str, Any]:
         """Per-worker slice of the unified evidence surface."""
         components = [
@@ -133,12 +273,19 @@ class KarWorker:
             if component.worker is self
         ]
         live = [c for c in components if c.alive]
+        now = self.kernel.now
         return {
             "alive": self.alive,
             "retired": self.retired,
+            "wedged": self.wedged,
             "hosted": sorted(self.hosted),
             "calls_charged": self.loop.calls_charged,
-            "busy_seconds": self.loop.busy_seconds,
+            # The decayed window: *current* hotness. The lifetime counter
+            # moved to busy_seconds_total.
+            "busy_seconds": self.loop.busy_seconds(now),
+            "busy_seconds_total": self.loop.busy_seconds_total,
+            "busy_rate": self.loop.busy_rate(now),
+            "component_load": self.loop.component_loads(now),
             "outbox_batches": sum(c.router.batches_flushed for c in live),
             "outbox_records": sum(c.router.records_sent for c in live),
         }
@@ -180,8 +327,21 @@ class KarCluster(KarApplication):
         self.worker_heartbeat_key = f"_cluster:{name}:heartbeats"
         #: Workers the control plane declared failed (evidence surface).
         self.workers_failed: list[str] = []
-        #: Component migrations performed (join/leave/crash re-hosting).
+        #: Component migrations performed (join/leave/crash re-hosting and
+        #: load-triggered moves).
         self.migrations = 0
+        #: Hot-component splits / cool-down merges performed.
+        self.splits = 0
+        self.merges = 0
+        #: Leases the control plane expired (wedged-worker detections).
+        self.lease_expirations = 0
+        #: parent component -> its live sub-partition names, while split.
+        self.split_children: dict[str, tuple[str, ...]] = {}
+        #: Serializes drain->fence->restart handoffs: concurrent movers
+        #: (join rebalance, the placement controller, graceful removal)
+        #: must not drain or restart the same component at once.
+        self._handoff_active = False
+        self.placement_ctl = PlacementController(self)
         ids = worker_ids or tuple(f"w{index}" for index in range(workers))
         for worker_id in ids:
             self.workers[worker_id] = KarWorker(self, worker_id)
@@ -292,12 +452,16 @@ class KarCluster(KarApplication):
         self.trace.emit(
             "worker.retire", worker=worker_id, hosted=sorted(worker.hosted)
         )
-        for name in sorted(worker.hosted):
-            component = self.components.get(name)
-            if component is None or component.worker is not worker:
-                worker.hosted.discard(name)
-                continue
-            await self._handoff(component)
+        await self._acquire_handoff_gate()
+        try:
+            for name in sorted(worker.hosted):
+                component = self.components.get(name)
+                if component is None or component.worker is not worker:
+                    worker.hosted.discard(name)
+                    continue
+                await self._handoff(component)
+        finally:
+            self._release_handoff_gate()
         worker.process.kill()
 
     def remove_worker(
@@ -327,6 +491,174 @@ class KarCluster(KarApplication):
         self.restart_component(name, worker=target)
 
     # ------------------------------------------------------------------
+    # the handoff gate (one drain->fence->restart mover at a time)
+    # ------------------------------------------------------------------
+    async def _acquire_handoff_gate(self) -> None:
+        while self._handoff_active:
+            await self.kernel.sleep(0.01)
+        self._handoff_active = True
+
+    def _release_handoff_gate(self) -> None:
+        self._handoff_active = False
+
+    def _target_worker(self, target_id: str | None, name: str) -> KarWorker:
+        """Re-validate a migration target *after* the drain.
+
+        The drain can outlast the target: a worker killed while it is the
+        destination of an in-flight handoff must not strand the draining
+        component, so a dead or retired target falls back to ring
+        assignment over the current live set.
+        """
+        if target_id is not None:
+            target = self.workers.get(target_id)
+            if target is not None and target.alive and not target.retired:
+                return target
+        return self._assign_worker(name)
+
+    # ------------------------------------------------------------------
+    # adaptive placement actions (invoked by the placement controller)
+    # ------------------------------------------------------------------
+    async def _migrate_component(
+        self, name: str, target_id: str | None
+    ) -> bool:
+        """Load-triggered move of one component: the same drain -> fence ->
+        replay handoff as a worker join, aimed at a chosen target."""
+        await self._acquire_handoff_gate()
+        try:
+            component = self.components.get(name)
+            if (
+                component is None
+                or not component.alive
+                or component.worker is None
+            ):
+                return False
+            source = component.worker
+            drained = await component.drain(self.config.drain_timeout)
+            if not component.alive:
+                # Crashed mid-drain; the failure path owns the re-host.
+                return False
+            component.stop()
+            source.hosted.discard(name)
+            windows = source.loop.export_component(name)
+            target = self._target_worker(target_id, name)
+            self.trace.emit(
+                "component.handoff",
+                component=name,
+                drained=drained,
+                to_worker=target.worker_id,
+            )
+            self.migrations += 1
+            self.restart_component(name, worker=target)
+            # The load history moves with the component so the controller
+            # keeps seeing its true hotness across the handoff.
+            target.loop.adopt_component(name, windows)
+            return True
+        finally:
+            self._release_handoff_gate()
+
+    async def _split_component(self, name: str) -> bool:
+        """Split a hot component into sub-partitions spread over workers.
+
+        Drain -> fence the parent (it leaves the group; its lease family
+        stays fenced at its final epoch) -> start ``split_factor`` children
+        announcing the same actor types. Placement re-keys the parent's
+        actors by id over the new candidate set on the next send, and
+        reconciliation replays whatever the drain left stranded in the
+        parent's queue -- the split rides the exact machinery a crash does,
+        so exactly-once settlement is preserved by construction.
+        """
+        await self._acquire_handoff_gate()
+        try:
+            component = self.components.get(name)
+            if (
+                component is None
+                or not component.alive
+                or component.worker is None
+                or name in self.split_children
+                or parent_partition(name) is not None
+            ):
+                return False
+            types = tuple(sorted(self.component_types.get(name, ())))
+            if not types:
+                return False
+            children = sub_partition_names(
+                name, max(2, self.config.split_factor)
+            )
+            source = component.worker
+            drained = await component.drain(self.config.drain_timeout)
+            if not component.alive:
+                return False
+            component.stop()
+            source.hosted.discard(name)
+            source.loop.forget_component(name)
+            self.split_children[name] = children
+            self.splits += 1
+            self.trace.emit(
+                "component.split",
+                component=name,
+                children=list(children),
+                drained=drained,
+            )
+            targets = self._spread_targets(len(children))
+            for child, target in zip(children, targets):
+                self.add_component(child, types, worker=target)
+            return True
+        finally:
+            self._release_handoff_gate()
+
+    async def _merge_component(self, name: str) -> bool:
+        """Merge a cooled component's sub-partitions back into the parent.
+
+        Children drain and leave one by one; the parent restarts at its
+        next epoch and the actors re-key back as child placements die.
+        """
+        await self._acquire_handoff_gate()
+        try:
+            children = self.split_children.get(name)
+            if children is None:
+                return False
+            for child in children:
+                component = self.components.get(child)
+                if component is not None and component.alive:
+                    await component.drain(self.config.drain_timeout)
+                # The drain may have raced a failure re-host; fence
+                # whichever incarnation is current now.
+                component = self.components.get(child)
+                if component is not None and component.alive:
+                    component.stop()
+                if component is not None and component.worker is not None:
+                    component.worker.hosted.discard(child)
+                    component.worker.loop.forget_component(child)
+                # Forget the child entirely so no failure path resurrects
+                # it after the merge.
+                self.components.pop(child, None)
+                self.component_types.pop(child, None)
+            self.split_children.pop(name, None)
+            self.merges += 1
+            self.trace.emit(
+                "component.merge", component=name, children=list(children)
+            )
+            self.restart_component(name)
+            return True
+        finally:
+            self._release_handoff_gate()
+
+    def _spread_targets(self, count: int) -> list[KarWorker]:
+        """The ``count`` least-busy live workers, cycling if needed."""
+        now = self.kernel.now
+        live = sorted(
+            self._live_workers(),
+            key=lambda worker: (
+                worker.loop.busy_rate(now),
+                len(worker.hosted),
+                worker.worker_id,
+            ),
+        )
+        if not live:
+            raise RuntimeError("no live workers to host components")
+        return [live[index % len(live)] for index in range(count)]
+
+    # ------------------------------------------------------------------
     # control loop: worker failure detection via store heartbeats
     # ------------------------------------------------------------------
     async def _control_loop(self) -> None:
@@ -344,6 +676,50 @@ class KarCluster(KarApplication):
                 last = float(beats.get(worker_id, 0.0))
                 if now - last > config.worker_session_timeout:
                     self._on_worker_failed(worker)
+            if config.lease_ttl is not None:
+                self._sweep_expired_leases(self.kernel.now)
+            self.placement_ctl.tick(self.kernel.now)
+
+    def _sweep_expired_leases(self, now: float) -> None:
+        """Expire partition ownership the holder stopped renewing.
+
+        Heartbeats prove the worker's processes are scheduled; lease
+        renewal proves its loop still makes progress. A hosted component
+        whose lease age exceeds ``lease_ttl`` therefore sits on a wedged
+        worker: expel its member from the group at once and declare the
+        worker failed, which re-hosts everything it carried (the successor
+        incarnations fence the zombies at epoch + 1).
+        """
+        ttl = self.config.lease_ttl
+        assert ttl is not None
+        for worker in list(self.workers.values()):
+            if not worker.alive or worker.retired:
+                continue
+            for name in sorted(worker.hosted):
+                component = self.components.get(name)
+                if (
+                    component is None
+                    or not component.alive
+                    or component.worker is not worker
+                ):
+                    continue
+                age = self.broker.lease_renewal_age(
+                    self.topic_name, name, now
+                )
+                if age is None or age <= ttl:
+                    continue
+                self.lease_expirations += 1
+                self.trace.emit(
+                    "lease.expired",
+                    component=name,
+                    worker=worker.worker_id,
+                    age=round(age, 6),
+                )
+                worker.coordinator.expel(
+                    component.member_id, reason="lease_expired"
+                )
+                self._on_worker_failed(worker)
+                break
 
     def _on_worker_failed(self, worker: KarWorker) -> None:
         """Re-host a silent worker's components on the survivors."""
@@ -370,7 +746,15 @@ class KarCluster(KarApplication):
             worker.process.kill()
 
     async def _rebalance_components(self) -> None:
-        """Migrate components whose ring assignment moved (worker join)."""
+        """Migrate components whose ring assignment moved (worker join).
+
+        The assignment is load-weighted when the load plane has signal:
+        components carry their measured busy rates onto the ring, so a
+        join rebalance spreads *load*, not just counts (an idle cluster
+        falls back to the legacy count rule). Each move re-validates its
+        target after the drain -- a worker killed while it is the target
+        of an in-flight handoff must not strand the draining component.
+        """
         live_ids = sorted(
             worker.worker_id for worker in self._live_workers()
         )
@@ -381,29 +765,49 @@ class KarCluster(KarApplication):
             for name, component in self.components.items()
             if component.worker is not None and component.alive
         )
-        desired = HashRing(live_ids).assign(hosted_names)
+        now = self.kernel.now
+        weights = {
+            name: load["busy_rate"]
+            for worker in self._live_workers()
+            for name, load in worker.loop.component_loads(now).items()
+            if name in worker.hosted
+        }
+        desired = HashRing(live_ids).assign(hosted_names, weights=weights)
         for name in hosted_names:
             component = self.components.get(name)
             if component is None or not component.alive:
                 continue
             current = component.worker
-            target_id = desired[name]
-            if current is not None and current.worker_id == target_id:
+            if (
+                current is not None
+                and current.worker_id == desired.get(name)
+            ):
                 continue
-            drained = await component.drain(self.config.drain_timeout)
-            component.stop()
-            if current is not None:
-                current.hosted.discard(name)
-            self.trace.emit(
-                "component.handoff",
-                component=name,
-                drained=drained,
-                to_worker=target_id,
-            )
-            self.migrations += 1
-            self.restart_component(
-                name, worker=self.workers[target_id]
-            )
+            await self._migrate_component(name, desired.get(name))
+
+    # ------------------------------------------------------------------
+    # evidence surface
+    # ------------------------------------------------------------------
+    def placement_stats(self) -> dict[str, Any]:
+        """The adaptive-placement slice of the unified evidence surface."""
+        return {
+            "adaptive": self.config.adaptive_placement,
+            "migrations": self.migrations,
+            "splits": self.splits,
+            "merges": self.merges,
+            "lease_expirations": self.lease_expirations,
+            "split_children": {
+                parent: list(children)
+                for parent, children in sorted(self.split_children.items())
+            },
+            "controller": self.placement_ctl.stats(),
+            "load": self.placement_ctl.load_snapshot(),
+        }
+
+    def stats(self) -> dict[str, Any]:
+        stats = super().stats()
+        stats["placement"] = self.placement_stats()
+        return stats
 
     # ------------------------------------------------------------------
     # lifecycle

@@ -151,6 +151,40 @@ class KarConfig:
     # in-flight work before fencing the old incarnation anyway.
     drain_timeout: float = 30.0
 
+    # --- adaptive placement (core/placement_ctl.py) --------------------------
+    # Master switch for the load-aware placement controller. When False the
+    # control plane still samples and publishes the load plane (the evidence
+    # surface stays live) but never migrates, splits, or merges -- placement
+    # stays the static bounded-load consistent hash.
+    adaptive_placement: bool = True
+    # Worker busy-rate imbalance, (max - min) / max, above which the
+    # controller migrates the hottest component off the busiest worker.
+    rebalance_threshold: float = 0.5
+    # Minimum seconds between controller actions (hysteresis against
+    # thrashing on a load signal that has not settled since the last move).
+    rebalance_cooldown: float = 5.0
+    # Upper bound on placement actions (migrations/splits/merges) started
+    # per control tick.
+    migration_budget: int = 1
+    # A single component whose busy rate exceeds this fraction of one
+    # worker's capacity cannot be helped by migration (it saturates any
+    # worker alone) and is split into sub-partitions instead.
+    split_threshold: float = 0.6
+    # Sub-partitions a hot component splits into.
+    split_factor: int = 4
+    # Merge hysteresis: split children whose *combined* busy rate stays
+    # below split_threshold * split_merge_ratio for several consecutive
+    # ticks are merged back into the parent component.
+    split_merge_ratio: float = 0.25
+    # Half-life of the exponentially decaying load counters behind
+    # KarWorker.stats() busy_seconds and the per-component load plane.
+    load_halflife: float = 5.0
+    # Partition-lease liveness: a holder renews every lease_ttl / 4; a
+    # hosted component whose lease goes unrenewed for lease_ttl is owned by
+    # a wedged worker (heartbeating but not making progress) and the control
+    # plane re-hosts it. ``None`` disables renewal and the expiry sweep.
+    lease_ttl: float | None = 30.0
+
     # --- reminders -----------------------------------------------------------
     reminder_tick: float = 0.5
 
@@ -182,4 +216,7 @@ class KarConfig:
             worker_heartbeat_interval=0.2,
             worker_session_timeout=0.8,
             drain_timeout=5.0,
+            rebalance_cooldown=0.5,
+            load_halflife=0.5,
+            lease_ttl=2.0,
         )

@@ -15,8 +15,11 @@ pays full store cost per invocation.
 
 from __future__ import annotations
 
+import zlib
+
 from repro.core.errors import NoPlacementError
 from repro.core.refs import ActorRef
+from repro.core.sharding import parent_partition
 from repro.kvstore import StoreClient
 
 __all__ = ["PlacementService", "placement_key"]
@@ -24,6 +27,44 @@ __all__ = ["PlacementService", "placement_key"]
 
 def placement_key(ref: ActorRef) -> str:
     return f"placement:{ref.type}:{ref.id}"
+
+
+def rekey_choice(
+    ref: ActorRef, current: str | None, candidates: list[str]
+) -> str:
+    """Pick a component for ``ref`` when ``current`` is dead or unset.
+
+    Split-aware: a hot component splits into ``<name>.s<i>`` children that
+    the cluster deliberately spreads over the least-busy workers, so when
+    the dead placement is a split parent its actors re-key *onto the
+    children* -- an even, worker-spread re-shard of exactly the hot key
+    range -- rather than scattering over every candidate (which lands
+    clumps of hot actors on arbitrary components and re-creates the
+    hotspot elsewhere). Symmetrically, a dead child re-keys back to its
+    restarted parent after a merge, restoring the pre-split placement.
+    The rule is purely name-based, so every resolver (clients and
+    components alike) derives the same choice from the same candidates.
+
+    The child choice salts the hash with the parent name: the actors on a
+    split parent are exactly those whose unsalted ``stable_hash`` fell in
+    the parent's bucket, so reusing that hash modulo ``len(children)``
+    would send all of them to the *same* child whenever the child count
+    shares a factor with the top-level component count -- the split would
+    re-create the hotspot it was meant to break.
+    """
+    if current is not None:
+        children = [
+            name for name in candidates if parent_partition(name) == current
+        ]
+        if children:
+            salted = zlib.crc32(
+                f"{ref.type}:{ref.id}@{current}".encode()
+            )
+            return children[salted % len(children)]
+        parent = parent_partition(current)
+        if parent is not None and parent in candidates:
+            return parent
+    return candidates[ref.stable_hash() % len(candidates)]
 
 
 class PlacementService:
@@ -111,7 +152,7 @@ class PlacementService:
             if current is not None and current in candidates:
                 self._remember(ref, current)
                 return current
-            chosen = candidates[ref.stable_hash() % len(candidates)]
+            chosen = rekey_choice(ref, current, candidates)
             if await self._client.cas(key, current, chosen):
                 self._remember(ref, chosen)
                 return chosen

@@ -1,0 +1,251 @@
+"""Load-aware placement control (the adaptive half of the scale-out story).
+
+Static bounded-load consistent hashing balances component *counts*; under
+zipfian traffic one hot component pins a single worker loop while the rest
+idle. This module closes the loop:
+
+- the **load plane**: each control tick samples every live worker's
+  decaying busy window and per-component load from its
+  :class:`~repro.core.cluster.WorkerLoop` and publishes the snapshot
+  through the shared store (``_cluster:<app>:load``), so any observer --
+  human or worker -- reads the same view of current hotness;
+- the **controller**: on the same tick it plans at most
+  ``migration_budget`` placement actions, with hysteresis
+  (``rebalance_cooldown``) so it reacts to sustained skew, not noise:
+
+  * **merge** split children back into their parent once the busiest
+    worker has idled below the merge floor for ``MERGE_PATIENCE_TICKS``
+    consecutive ticks (the skew subsided cluster-wide);
+  * **split** a component whose own busy rate exceeds ``split_threshold``
+    -- it saturates any single worker, so no migration can help it;
+  * **migrate** the hottest movable component off the busiest worker when
+    worker imbalance ``(max - min) / max`` exceeds
+    ``rebalance_threshold``.
+
+Every action rides the existing drain -> fence -> replay-tail handoff
+(:class:`~repro.core.cluster.KarCluster`), so exactly-once settlement is
+preserved by the same machinery that covers crashes and joins.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.core.sharding import parent_partition
+
+if TYPE_CHECKING:
+    from repro.core.cluster import KarCluster
+
+__all__ = ["PlacementController"]
+
+#: Consecutive cold ticks before split children merge back; patience keeps
+#: a briefly idle hot component from flapping split -> merge -> split.
+MERGE_PATIENCE_TICKS = 4
+
+#: Ignore imbalance while the busiest worker is under this busy rate: an
+#: almost-idle cluster has nothing worth paying a handoff for.
+MIN_ACTIONABLE_RATE = 0.2
+
+
+class PlacementController:
+    """Plans load-driven migrations/splits/merges for one cluster."""
+
+    def __init__(self, cluster: "KarCluster"):
+        self.cluster = cluster
+        self.config = cluster.config
+        self.load_key = f"_cluster:{cluster.name}:load"
+        self.ticks = 0
+        #: Actions planned, by kind (scheduled, not necessarily performed;
+        #: the cluster counts performed ones).
+        self.planned: dict[str, int] = {"migrate": 0, "split": 0, "merge": 0}
+        self._last_action_at = -float("inf")
+        self._running = False
+        self._cold_ticks: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # the control tick
+    # ------------------------------------------------------------------
+    def tick(self, now: float) -> None:
+        self.ticks += 1
+        worker_rates, component_loads = self._sample(now)
+        self._publish(worker_rates, component_loads)
+        if not self.config.adaptive_placement:
+            return
+        if self._running:
+            return
+        if now - self._last_action_at < self.config.rebalance_cooldown:
+            return
+        actions = self._plan(worker_rates, component_loads)
+        if not actions:
+            return
+        self._last_action_at = now
+        self._running = True
+        self.cluster.kernel.spawn(
+            self._run(actions),
+            name=f"placement-ctl:{self.cluster.name}",
+        )
+
+    def _sample(
+        self, now: float
+    ) -> tuple[dict[str, float], dict[str, dict[str, Any]]]:
+        worker_rates: dict[str, float] = {}
+        component_loads: dict[str, dict[str, Any]] = {}
+        for worker_id, worker in sorted(self.cluster.workers.items()):
+            if not worker.alive or worker.retired:
+                continue
+            worker_rates[worker_id] = worker.loop.busy_rate(now)
+            for name, load in worker.loop.component_loads(now).items():
+                if name in worker.hosted:
+                    component_loads[name] = dict(load, worker=worker_id)
+        return worker_rates, component_loads
+
+    def _publish(
+        self,
+        worker_rates: dict[str, float],
+        component_loads: dict[str, dict[str, Any]],
+    ) -> None:
+        """Whole-snapshot publish: stale entries never linger."""
+        backend = self.cluster.store.backend
+        backend.hset(self.load_key, "workers", worker_rates)
+        backend.hset(self.load_key, "components", component_loads)
+
+    def load_snapshot(self) -> dict[str, Any]:
+        """The last published load-plane snapshot (store-backed)."""
+        return dict(self.cluster.store.backend.hgetall(self.load_key))
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def _plan(
+        self,
+        worker_rates: dict[str, float],
+        component_loads: dict[str, dict[str, Any]],
+    ) -> list[tuple[str, ...]]:
+        budget = max(1, self.config.migration_budget)
+        actions: list[tuple[str, ...]] = []
+        self._plan_merges(worker_rates, actions, budget)
+        if len(actions) < budget:
+            self._plan_splits(component_loads, actions, budget)
+        if len(actions) < budget:
+            self._plan_migration(worker_rates, component_loads, actions)
+        for action in actions:
+            self.planned[action[0]] += 1
+        return actions
+
+    def _plan_merges(
+        self,
+        worker_rates: dict[str, float],
+        actions: list[tuple[str, ...]],
+        budget: int,
+    ) -> None:
+        """Merge split children back once the *cluster* has cooled.
+
+        The cool signal is deliberately not the children's own load: after
+        a split the parent's actors re-key over the whole candidate set,
+        so lightly-loaded children are the normal steady state of a
+        *successful* split. Merging on that signal resurrects the hot
+        parent mid-burst and flaps split -> merge -> split. Instead the
+        children stay out as long as any worker is meaningfully busy, and
+        fold back only when the busiest worker idles below the merge floor
+        for ``MERGE_PATIENCE_TICKS`` consecutive ticks.
+        """
+        floor = self.config.split_threshold * self.config.split_merge_ratio
+        peak = max(worker_rates.values(), default=0.0)
+        for parent in sorted(self.cluster.split_children):
+            if peak >= floor:
+                self._cold_ticks[parent] = 0
+                continue
+            self._cold_ticks[parent] = self._cold_ticks.get(parent, 0) + 1
+            if (
+                self._cold_ticks[parent] >= MERGE_PATIENCE_TICKS
+                and len(actions) < budget
+            ):
+                self._cold_ticks[parent] = 0
+                actions.append(("merge", parent))
+
+    def _plan_splits(
+        self,
+        component_loads: dict[str, dict[str, Any]],
+        actions: list[tuple[str, ...]],
+        budget: int,
+    ) -> None:
+        candidates = sorted(
+            (
+                (load["busy_rate"], name)
+                for name, load in component_loads.items()
+                if load["busy_rate"] > self.config.split_threshold
+                and name not in self.cluster.split_children
+                and parent_partition(name) is None
+            ),
+            reverse=True,
+        )
+        for _rate, name in candidates:
+            if len(actions) >= budget:
+                return
+            actions.append(("split", name))
+
+    def _plan_migration(
+        self,
+        worker_rates: dict[str, float],
+        component_loads: dict[str, dict[str, Any]],
+        actions: list[tuple[str, ...]],
+    ) -> None:
+        if len(worker_rates) < 2:
+            return
+        busiest = max(worker_rates, key=lambda wid: (worker_rates[wid], wid))
+        coolest = min(worker_rates, key=lambda wid: (worker_rates[wid], wid))
+        peak, trough = worker_rates[busiest], worker_rates[coolest]
+        if peak <= MIN_ACTIONABLE_RATE:
+            return
+        if (peak - trough) / peak <= self.config.rebalance_threshold:
+            return
+        splitting = {action[1] for action in actions}
+        hosted = sorted(
+            (
+                (load["busy_rate"], name)
+                for name, load in component_loads.items()
+                if load["worker"] == busiest and name not in splitting
+            ),
+            reverse=True,
+        )
+        if len(hosted) < 2:
+            # A lone component *is* the worker's load; moving it only
+            # relocates the hotspot (splitting is the cure, handled above).
+            return
+        gap = peak - trough
+        # Largest component that fits in the gap -- moving it must not
+        # just swap which worker is hottest.
+        for rate, name in hosted:
+            if rate <= gap:
+                actions.append(("migrate", name, coolest))
+                return
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    async def _run(self, actions: list[tuple[str, ...]]) -> None:
+        cluster = self.cluster
+        try:
+            for action in actions:
+                try:
+                    if action[0] == "merge":
+                        await cluster._merge_component(action[1])
+                    elif action[0] == "split":
+                        await cluster._split_component(action[1])
+                    else:
+                        await cluster._migrate_component(action[1], action[2])
+                except Exception as error:  # keep the control plane alive
+                    cluster.trace.emit(
+                        "placement.error",
+                        action=list(action),
+                        error=repr(error),
+                    )
+        finally:
+            self._running = False
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "ticks": self.ticks,
+            "planned": dict(self.planned),
+            "last_action_at": self._last_action_at,
+        }

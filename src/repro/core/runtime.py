@@ -171,6 +171,12 @@ class Component:
             self.process,
             name=f"maintenance:{self.member_id}",
         )
+        if self.worker is not None and self.config.lease_ttl is not None:
+            self.kernel.spawn(
+                self._lease_renewal_loop(),
+                self.process,
+                name=f"lease-renew:{self.member_id}",
+            )
         self.trace.emit("component.start", member=self.member_id)
         return self
 
@@ -227,6 +233,29 @@ class Component:
         if self.process.alive:
             self.trace.emit("component.fenced_exit", member=self.member_id)
             self.process.kill()
+
+    async def _lease_renewal_loop(self) -> None:
+        """The partition lease's TTL heartbeat (scale-out mode only).
+
+        Renewal is deliberately *not* tied to the worker's store heartbeat:
+        a wedged worker keeps heartbeating (its processes are alive) but
+        stops renewing, which is exactly the liveness gap the control
+        plane's lease sweep detects. Being fenced out of the lease means a
+        successor took over -- paired-process termination, like any fence.
+        """
+        ttl = self.config.lease_ttl
+        assert ttl is not None
+        interval = max(ttl / 4.0, 0.01)
+        try:
+            while True:
+                await self.kernel.sleep(interval)
+                if self.worker is not None and self.worker.wedged:
+                    continue
+                self.app.broker.renew_partition_lease(
+                    self.app.topic_name, self.name, self.member_id, self.epoch
+                )
+        except _FENCE_ERRORS:
+            self._suicide()
 
     # ------------------------------------------------------------------
     # invocation entry point (used by ActorContext and external clients)
@@ -480,8 +509,9 @@ class Component:
         try:
             if self.worker is not None:
                 # Event-loop contention: executions hosted on one worker
-                # serialize on its busy horizon (no-op at zero cost).
-                await self.worker.loop.charge()
+                # serialize on its busy horizon (no-op at zero cost). The
+                # component name attributes the charge to the load plane.
+                await self.worker.loop.charge(self.name)
             if self.overload is not None:
                 self.overload.clear_shed(request.dedup_key)
             kind, payload = await self._run_method(request)

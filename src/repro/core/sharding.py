@@ -26,9 +26,15 @@ from __future__ import annotations
 import bisect
 import hashlib
 import math
-from typing import Iterable, Sequence
+import re
+from typing import Iterable, Mapping, Sequence
 
-__all__ = ["HashRing", "assign_components"]
+__all__ = [
+    "HashRing",
+    "assign_components",
+    "parent_partition",
+    "sub_partition_names",
+]
 
 #: Virtual nodes per worker; enough to keep arcs fine-grained at 2-8
 #: workers without making ring construction a cost.
@@ -72,19 +78,38 @@ class HashRing:
                 if len(seen) == len(self.workers):
                     return
 
-    def assign(self, items: Sequence[str]) -> dict[str, str]:
+    def assign(
+        self,
+        items: Sequence[str],
+        weights: Mapping[str, float] | None = None,
+    ) -> dict[str, str]:
         """Map every item to a worker, bounded-load balanced.
 
         Items are placed in sorted order (determinism); each takes the
         first clockwise worker with spare capacity, capacity being
         ``ceil(len(items) / len(workers))``.
+
+        With ``weights`` (item -> measured load, missing items count as 0)
+        the bound becomes *weighted*: capacity is the ideal per-worker load
+        share (never below the heaviest single item, which must land
+        somewhere), items place heaviest-first, and an item that fits no
+        successor under the bound takes the least-loaded one. All-zero
+        weights fall back to the unweighted count rule, so an idle cluster
+        keeps the exact legacy assignment.
         """
         if not self.workers:
             raise ValueError("cannot assign items to an empty worker set")
-        capacity = math.ceil(len(items) / len(self.workers)) if items else 0
+        ordered = sorted(set(items))
+        load_of = {
+            item: max(0.0, float((weights or {}).get(item, 0.0)))
+            for item in ordered
+        }
+        if weights is not None and any(load_of.values()):
+            return self._assign_weighted(ordered, load_of)
+        capacity = math.ceil(len(ordered) / len(self.workers)) if ordered else 0
         loads: dict[str, int] = {worker: 0 for worker in self.workers}
         assignment: dict[str, str] = {}
-        for item in sorted(set(items)):
+        for item in ordered:
             chosen = None
             for worker in self.successors(item):
                 if loads[worker] < capacity:
@@ -96,11 +121,62 @@ class HashRing:
             assignment[item] = chosen
         return assignment
 
+    def _assign_weighted(
+        self, ordered: Sequence[str], load_of: Mapping[str, float]
+    ) -> dict[str, str]:
+        total = sum(load_of.values())
+        capacity = max(total / len(self.workers), max(load_of.values()))
+        loads: dict[str, float] = {worker: 0.0 for worker in self.workers}
+        assignment: dict[str, str] = {}
+        # Heaviest first so light items fill the gaps the heavy ones leave;
+        # name tie-break keeps the order deterministic.
+        for item in sorted(ordered, key=lambda name: (-load_of[name], name)):
+            weight = load_of[item]
+            chosen = None
+            for worker in self.successors(item):
+                if loads[worker] + weight <= capacity + 1e-9:
+                    chosen = worker
+                    break
+            if chosen is None:
+                chosen = min(
+                    self.successors(item), key=lambda worker: loads[worker]
+                )
+            loads[chosen] += weight
+            assignment[item] = chosen
+        return assignment
+
 
 def assign_components(
     components: Sequence[str],
     workers: Sequence[str],
     replicas: int = DEFAULT_REPLICAS,
+    weights: Mapping[str, float] | None = None,
 ) -> dict[str, str]:
     """One-shot helper: the bounded-load assignment for ``components``."""
-    return HashRing(workers, replicas).assign(components)
+    return HashRing(workers, replicas).assign(components, weights=weights)
+
+
+# ----------------------------------------------------------------------
+# hot-component sub-partitions
+# ----------------------------------------------------------------------
+#: Trailing suffix of a sub-partition name minted by a hot-component split.
+_SUB_PARTITION_RE = re.compile(r"^(?P<parent>.+)\.s\d+$")
+
+
+def sub_partition_names(parent: str, count: int) -> tuple[str, ...]:
+    """Names of the ``count`` sub-partitions a split of ``parent`` creates.
+
+    The names are ordinary component names (they join the group, hold
+    epoch-fenced partition leases, and shard across workers like any other
+    component); the ``.s<i>`` suffix only records lineage so the controller
+    can merge them back when the parent's load cools.
+    """
+    if count < 2:
+        raise ValueError("a split needs at least 2 sub-partitions")
+    return tuple(f"{parent}.s{index}" for index in range(count))
+
+
+def parent_partition(name: str) -> str | None:
+    """The parent component a sub-partition split from, or ``None``."""
+    match = _SUB_PARTITION_RE.match(name)
+    return match.group("parent") if match else None

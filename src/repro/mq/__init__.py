@@ -18,6 +18,7 @@ from repro.mq.broker import Broker, BrokerConfig, Topic
 from repro.mq.errors import (
     FencedMemberError,
     JournalLockedError,
+    JournalReadOnlyError,
     MQError,
     StaleLeaseError,
     StaleRouteError,
@@ -42,6 +43,7 @@ __all__ = [
     "GroupMember",
     "GroupState",
     "JournalLockedError",
+    "JournalReadOnlyError",
     "MQError",
     "MemoryBrokerLog",
     "Record",

@@ -3,6 +3,7 @@
 __all__ = [
     "FencedMemberError",
     "JournalLockedError",
+    "JournalReadOnlyError",
     "MQError",
     "StaleLeaseError",
     "StaleRouteError",
@@ -46,4 +47,13 @@ class JournalLockedError(MQError):
     Two workers must never append to the same partition journal
     concurrently: the second opener is rejected here instead of silently
     interleaving (and corrupting) frames.
+    """
+
+
+class JournalReadOnlyError(MQError):
+    """A mutation was attempted through a read-only journal opener.
+
+    Read-only openers are observers of a (possibly live) journal: they
+    replay and inspect, but the single write lock stays with the appender,
+    so any append/compact/rewrite through them is a programming error.
     """

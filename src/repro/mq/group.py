@@ -313,6 +313,17 @@ class GroupCoordinator:
         if member_id in self.members or self.state.is_member(member_id):
             self._evict(member_id, reason="leave")
 
+    def expel(self, member_id: str, reason: str = "expelled") -> None:
+        """Administrative eviction of a *live* member.
+
+        The control plane uses this when it has out-of-band evidence a
+        member must go -- e.g. its partition lease expired because the
+        hosting worker is wedged -- rather than waiting for the session
+        watchdog to notice silence. Same fence + rebalance as any eviction.
+        """
+        if member_id in self.members or self.state.is_member(member_id):
+            self._evict(member_id, reason=reason)
+
     def heartbeat(self, member_id: str) -> None:
         state = self.members.get(member_id)
         if state is not None:

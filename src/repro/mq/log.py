@@ -28,7 +28,7 @@ import struct
 import sys
 from typing import Any, Iterator
 
-from repro.mq.errors import JournalLockedError
+from repro.mq.errors import JournalLockedError, JournalReadOnlyError
 from repro.mq.records import Record
 from repro.persist import codec, framing
 
@@ -190,6 +190,17 @@ class FileJournalLog(BrokerLog):
     story for pre-binary journals. Metadata lives beside the journal in
     ``<journal>.meta.json``, rewritten atomically (it is tiny and changes
     only on rebalances and deploys).
+
+    Locking: the single appender holds an *exclusive* ``flock`` on the
+    ``<journal>.lock`` sidecar for its whole lifetime (a second appender is
+    rejected with :class:`JournalLockedError`; the lock survives
+    :meth:`rewrite`, whose ``os.replace`` swaps the journal file, not the
+    sidecar). A ``read_only=True`` opener is an observer of a possibly-live
+    journal: it takes a *shared* ``flock`` on the journal file itself --
+    any number of observers coexist with each other and with the appender
+    -- replays a snapshot as of open (reopen to refresh), never truncates a
+    torn tail (that is the appender's recovery job), and raises
+    :class:`JournalReadOnlyError` from every mutation path.
     """
 
     def __init__(
@@ -199,13 +210,16 @@ class FileJournalLog(BrokerLog):
         compact_min_records: int = 4096,
         compact_ratio: float = 0.5,
         codec: str = "binary",
+        read_only: bool = False,
     ):
         super().__init__()
         if codec not in ("json", "binary"):
             raise ValueError(f"unknown journal codec {codec!r}")
         self.path = path
         self.meta_path = path + ".meta.json"
+        self.lock_path = path + ".lock"
         self.codec = codec
+        self.read_only = read_only
         self._binary = codec == "binary"
         self._fsync = fsync
         self._compact_min_records = compact_min_records
@@ -220,11 +234,19 @@ class FileJournalLog(BrokerLog):
         self.rewrites = 0
         #: Format conversions performed on open (0 or 1).
         self.migrations = 0
+        if read_only:
+            # Observers replay without the append lock; a missing journal
+            # raises FileNotFoundError (there is nothing to observe yet).
+            self._lock_handle = self._open_shared()
+            self._file = self._lock_handle
+            self._load()
+            return
         # Take the append lock *before* replaying: two workers must never
         # interleave frames into one partition journal, so the second
         # opener is rejected here, before it can observe (or disturb) the
         # first opener's image.
-        self._file = self._open_locked()
+        self._lock_handle = self._open_locked()
+        self._file = open(self.path, "ab")
         loaded_format = self._load()
         if loaded_format is None:
             if self._binary:
@@ -234,15 +256,21 @@ class FileJournalLog(BrokerLog):
             self.rewrite()
             self.migrations += 1
 
+    @classmethod
+    def open_read_only(cls, path: str) -> "FileJournalLog":
+        """An observer over ``path``: shared lock, snapshot replay."""
+        return cls(path, read_only=True)
+
     def _open_locked(self) -> Any:
-        """Open the append handle and take an exclusive advisory lock.
+        """Take the appender's exclusive advisory lock (sidecar file).
 
         ``flock`` is per open file description, so the guard also catches a
         second :class:`FileJournalLog` over the same path inside one
-        process. The lock travels with the handle: it is released on
-        ``close`` and re-taken when :meth:`rewrite` reopens the journal.
+        process. The handle is held for the journal's whole lifetime --
+        unlike a lock on the journal file itself it survives the
+        ``os.replace`` in :meth:`rewrite` -- and released on ``close``.
         """
-        handle = open(self.path, "ab")
+        handle = open(self.lock_path, "ab")
         if fcntl is not None:
             try:
                 fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
@@ -253,6 +281,32 @@ class FileJournalLog(BrokerLog):
                     "opener; a partition journal admits exactly one appender"
                 ) from None
         return handle
+
+    def _open_shared(self) -> Any:
+        """Take an observer's *shared* advisory lock on the journal file.
+
+        Observers do not contend with the appender (whose exclusive lock
+        lives on the sidecar) or with each other; the shared lock only
+        blocks tools that demand exclusive access to the data file.
+        """
+        handle = open(self.path, "rb")
+        if fcntl is not None:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_SH | fcntl.LOCK_NB)
+            except OSError:
+                handle.close()
+                raise JournalLockedError(
+                    f"journal {self.path!r} is exclusively locked; cannot "
+                    "open a read-only observer"
+                ) from None
+        return handle
+
+    def _assert_writable(self) -> None:
+        if self.read_only:
+            raise JournalReadOnlyError(
+                f"journal {self.path!r} was opened read-only; observers "
+                "replay and inspect, the appender owns every mutation"
+            )
 
     # ------------------------------------------------------------------
     # replaying an existing journal
@@ -294,8 +348,11 @@ class FileJournalLog(BrokerLog):
                     raise ValueError(
                         f"corrupt journal line {index + 1} in {self.path!r}"
                     ) from None
-                with open(self.path, "rb+") as handle:
-                    handle.truncate(good_end)
+                if not self.read_only:
+                    # Observers stop replaying at the tear but leave the
+                    # recovery (truncation) to the appender's next open.
+                    with open(self.path, "rb+") as handle:
+                        handle.truncate(good_end)
                 break
             good_end += len(raw)
             kind = entry["k"]
@@ -350,8 +407,9 @@ class FileJournalLog(BrokerLog):
                 ) from None
             self._apply(entry)
             pos = end
-        if pos < total:
-            # The torn entry was never acknowledged; drop it.
+        if pos < total and not self.read_only:
+            # The torn entry was never acknowledged; drop it. (Observers
+            # stop at the tear and leave recovery to the appender.)
             with open(self.path, "rb+") as handle:
                 handle.truncate(pos)
 
@@ -392,6 +450,7 @@ class FileJournalLog(BrokerLog):
         # Encode *before* the in-memory image mutates: an unencodable
         # payload must fail the append cleanly, leaving image and file
         # agreeing (the broker then rolls back its partitions too).
+        self._assert_writable()
         self._staged_lines = [self._record_line(topic, r) for r in records]
         try:
             super().append_many(topic, records)
@@ -444,6 +503,7 @@ class FileJournalLog(BrokerLog):
         self._disk_records += len(records)
 
     def _persist_compact(self, topic: str, partition: str, keep_from: int) -> None:
+        self._assert_writable()
         self._file.write(
             self._control_line(
                 {"k": "c", "t": topic, "p": partition, "keep": keep_from},
@@ -454,6 +514,7 @@ class FileJournalLog(BrokerLog):
         self._maybe_rewrite()
 
     def _persist_drop(self, topic: str, partition: str) -> None:
+        self._assert_writable()
         self._file.write(
             self._control_line(
                 {"k": "d", "t": topic, "p": partition}, ("d", topic, partition)
@@ -463,6 +524,7 @@ class FileJournalLog(BrokerLog):
         self._maybe_rewrite()
 
     def _persist_meta(self) -> None:
+        self._assert_writable()
         tmp_path = self.meta_path + ".tmp"
         with open(tmp_path, "w", encoding="utf-8") as handle:
             json.dump(self._meta, handle, separators=(",", ":"))
@@ -492,6 +554,7 @@ class FileJournalLog(BrokerLog):
         """Rewrite the journal with only the retained image (in place),
         in the *configured* format -- this is also the migration step when
         a journal opens in the other format."""
+        self._assert_writable()
         tmp_path = self.path + ".tmp"
         with open(tmp_path, "wb") as handle:
             if self._binary:
@@ -522,15 +585,22 @@ class FileJournalLog(BrokerLog):
                 os.fsync(handle.fileno())
         self._file.close()
         os.replace(tmp_path, self.path)
-        self._file = self._open_locked()
+        # The append lock lives on the sidecar and was never dropped; only
+        # the data handle needs reopening over the replaced file.
+        self._file = open(self.path, "ab")
         self._disk_records = self.retained_records()
         self.rewrites += 1
 
     def flush(self) -> None:
+        if self.read_only:
+            return
         self._flush_file()
 
     def close(self) -> None:
         if self._file.closed:
             return
-        self._flush_file()
+        if not self.read_only:
+            self._flush_file()
         self._file.close()
+        if not self._lock_handle.closed:
+            self._lock_handle.close()

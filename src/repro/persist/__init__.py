@@ -140,6 +140,7 @@ def wipe_persistence(config: PersistenceConfig, app_name: str) -> None:
         store_path + "-shm",
         journal_path,
         journal_path + ".meta.json",
+        journal_path + ".lock",
     ):
         if os.path.exists(path):
             os.remove(path)

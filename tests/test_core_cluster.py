@@ -94,6 +94,7 @@ def test_unified_stats_reports_per_worker():
         "persistence",
         "overload",
         "workers",
+        "placement",
     }
     # The old accessors remain and agree with the unified surface.
     assert stats["transport"] == app.transport_stats()
@@ -102,7 +103,14 @@ def test_unified_stats_reports_per_worker():
     assert set(stats["workers"]) == {"w0", "w1"}
     charged = sum(w["calls_charged"] for w in stats["workers"].values())
     assert charged >= 20
+    # busy_seconds is a decaying window; right after activity it is still
+    # positive, while busy_seconds_total carries the lifetime sum.
     assert all(w["busy_seconds"] > 0 for w in stats["workers"].values())
+    assert all(
+        w["busy_seconds_total"] >= w["busy_seconds"]
+        for w in stats["workers"].values()
+    )
+    assert stats["placement"] == app.placement_stats()
 
 
 def test_worker_loop_cost_serializes_executions():

@@ -1,0 +1,245 @@
+"""Adaptive placement: the load plane, the controller, and lease TTLs.
+
+What must hold:
+
+- ``KarWorker.stats()`` busy_seconds is a *decaying window* (current
+  hotness), not a monotonic lifetime counter;
+- the control loop publishes a per-component load snapshot through the
+  shared store every tick;
+- sustained skew triggers a migration of the hottest component off the
+  busiest worker; a component too hot for any single worker splits into
+  sub-partitions and merges back when it cools -- with every call settling
+  exactly once across the moves;
+- a wedged worker (heartbeating but not renewing its leases) loses
+  partition ownership within ``lease_ttl`` and its calls settle exactly
+  once on the new owner.
+"""
+
+from __future__ import annotations
+
+from repro.core import Actor, DecayingCounter, KarCluster, KarConfig, actor_proxy
+from repro.sim import Kernel
+
+
+class Counter(Actor):
+    """Read-then-tail-write commit discipline (exactly-once evidence)."""
+
+    async def bump(self, ctx, amount):
+        total = await ctx.state.get("total", 0)
+        return ctx.tail_call(None, "commit", total + amount)
+
+    async def commit(self, ctx, total):
+        await ctx.state.set("total", total)
+        return total
+
+    async def get(self, ctx):
+        return await ctx.state.get("total", 0)
+
+
+def make_cluster(seed=0, workers=2, components=4, **overrides):
+    kernel = Kernel(seed=seed)
+    config = KarConfig.fast_test().with_overrides(
+        worker_loop_cost=0.005, **overrides
+    )
+    app = KarCluster(kernel, config, "ctl", workers=workers)
+    app.register_actor(Counter, "Counter")
+    for index in range(components):
+        app.add_component(f"comp{index}", ("Counter",))
+    app.client()
+    app.settle()
+    return kernel, app
+
+
+def actor_ids_on(app, component_name, count):
+    """Actor ids whose placement hash keys them to ``component_name``."""
+    candidates = sorted(
+        name for name, types in app.component_types.items() if types
+    )
+    ids, index = [], 0
+    while len(ids) < count:
+        actor_id = f"h{index}"
+        ref = actor_proxy("Counter", actor_id)
+        if candidates[ref.stable_hash() % len(candidates)] == component_name:
+            ids.append(actor_id)
+        index += 1
+    return ids
+
+
+def pump(kernel, client, actor_ids, bumps):
+    """Closed-loop drivers: ``bumps`` sequential bumps per actor."""
+
+    async def workflow(actor_id):
+        ref = actor_proxy("Counter", actor_id)
+        for _ in range(bumps):
+            await client.invoke(None, ref, "bump", (1,), True)
+
+    return [
+        kernel.spawn(workflow(actor_id), process=client.process)
+        for actor_id in actor_ids
+    ]
+
+
+def totals_of(app, actor_ids):
+    return {
+        actor_id: app.run_call(actor_proxy("Counter", actor_id), "get")
+        for actor_id in actor_ids
+    }
+
+
+# ----------------------------------------------------------------------
+# the load signal
+# ----------------------------------------------------------------------
+def test_decaying_counter_halves_per_halflife():
+    counter = DecayingCounter(halflife=2.0)
+    counter.add(8.0, 0.0)
+    assert counter.value(0.0) == 8.0
+    assert counter.value(2.0) == 4.0
+    assert counter.value(6.0) == 1.0
+    # A steady inflow of r/sec equilibrates at r * halflife / ln2, so rate
+    # inverts value back to the sustaining input rate.
+    assert abs(counter.rate(2.0) - 4.0 * 0.6931471805599453 / 2.0) < 1e-12
+
+
+def test_busy_seconds_is_windowed_not_lifetime():
+    kernel, app = make_cluster(seed=11)
+    ids = actor_ids_on(app, "comp0", 4)
+    tasks = pump(kernel, app.client(), ids, 10)
+    kernel.run_until_complete(kernel.gather(tasks), timeout=600)
+    hot = [
+        w for w in app.stats()["workers"].values() if w["busy_seconds"] > 0
+    ]
+    assert hot  # the window is positive right after activity
+    totals_before = {
+        wid: w["busy_seconds_total"]
+        for wid, w in app.stats()["workers"].items()
+    }
+    # Idle for many half-lives: the window decays away, the total does not.
+    kernel.run(until=kernel.now + 20 * app.config.load_halflife)
+    stats = app.stats()["workers"]
+    assert all(w["busy_seconds"] < 1e-3 for w in stats.values())
+    assert {
+        wid: w["busy_seconds_total"] for wid, w in stats.items()
+    } == totals_before
+    assert sum(totals_before.values()) > 0
+
+
+def test_control_loop_publishes_load_plane_through_store(
+):
+    kernel, app = make_cluster(seed=12, split_threshold=10.0)
+    ids = actor_ids_on(app, "comp1", 4)
+    tasks = pump(kernel, app.client(), ids, 8)
+    kernel.run(until=kernel.now + 0.5)  # a few control ticks mid-burst
+    snapshot = app.store.backend.hgetall("_cluster:ctl:load")
+    assert set(snapshot) == {"workers", "components"}
+    assert set(snapshot["workers"]) <= set(app.workers)
+    loads = snapshot["components"]
+    assert loads["comp1"]["busy_rate"] > 0
+    assert loads["comp1"]["calls_per_s"] > 0
+    assert loads["comp1"]["worker"] == app.worker_of("comp1")
+    # The same snapshot is on the unified evidence surface.
+    assert app.placement_stats()["load"] == dict(snapshot)
+    kernel.run_until_complete(kernel.gather(tasks), timeout=600)
+
+
+# ----------------------------------------------------------------------
+# migration and splitting
+# ----------------------------------------------------------------------
+def test_hot_component_migrates_off_busiest_worker():
+    # Splitting is disabled (unreachable threshold): pure migration path.
+    kernel, app = make_cluster(
+        seed=13,
+        workers=2,
+        components=4,
+        split_threshold=10.0,
+        rebalance_threshold=0.4,
+        drain_timeout=0.5,
+    )
+    # Heat *both* components of one worker so a migration (not a swap of
+    # the hotspot) is the fix.
+    busiest = app.worker_of("comp0")
+    hot_comps = sorted(
+        name for name in app.component_types if app.worker_of(name) == busiest
+    )
+    assert len(hot_comps) == 2
+    ids = [i for comp in hot_comps for i in actor_ids_on(app, comp, 4)]
+    moves_before = app.migrations
+    tasks = pump(kernel, app.client(), ids, 25)
+    kernel.run_until_complete(kernel.gather(tasks), timeout=600)
+    kernel.run(until=kernel.now + 2.0)
+    assert app.migrations > moves_before
+    # The two hot components no longer share a worker.
+    assert len({app.worker_of(name) for name in hot_comps}) == 2
+    assert totals_of(app, ids) == {actor_id: 25 for actor_id in ids}
+    assert app.unsettled_call_ids() == []
+    kernel.check_no_crashes()
+
+
+def test_hot_component_splits_and_merges_back_exactly_once():
+    kernel, app = make_cluster(
+        seed=14,
+        workers=4,
+        components=4,
+        split_threshold=0.35,
+        split_factor=4,
+        rebalance_cooldown=0.3,
+        drain_timeout=0.4,
+    )
+    ids = actor_ids_on(app, "comp2", 12)
+    tasks = pump(kernel, app.client(), ids, 25)
+    kernel.run_until_complete(kernel.gather(tasks), timeout=600)
+    assert app.splits >= 1
+    split_events = app.trace.of_kind("component.split")
+    assert split_events and split_events[0]["component"] == "comp2"
+    # Cooling off: the children idle below the merge floor long enough for
+    # patience + cooldown to expire, then the parent is restored.
+    kernel.run(until=kernel.now + 8.0)
+    assert app.merges >= 1
+    assert app.split_children == {}
+    assert not any("comp2.s" in name for name in app.components)
+    assert app.components["comp2"].alive
+    # Exactly once across split + merge: every bump landed exactly once.
+    assert totals_of(app, ids) == {actor_id: 25 for actor_id in ids}
+    assert app.unsettled_call_ids() == []
+    kernel.check_no_crashes()
+
+
+# ----------------------------------------------------------------------
+# lease TTL: the wedged-worker failure mode
+# ----------------------------------------------------------------------
+def test_wedged_worker_loses_partitions_within_lease_ttl():
+    kernel, app = make_cluster(seed=15, workers=2, components=4)
+    victim_id = app.worker_of("comp0")
+    victim = app.workers[victim_id]
+    hosted = sorted(victim.hosted)
+    ids = [i for comp in hosted for i in actor_ids_on(app, comp, 2)]
+    tasks = pump(kernel, app.client(), ids, 3)
+    kernel.run(until=kernel.now + 0.1)
+
+    victim.wedge()
+    wedged_at = kernel.now
+    # The worker still heartbeats: the session-timeout detector must NOT
+    # fire for it; only the lease sweep may.
+    kernel.run(until=wedged_at + app.config.lease_ttl + 0.5)
+    assert app.lease_expirations >= 1
+    assert victim_id in app.workers_failed
+    expired = app.trace.of_kind("lease.expired")
+    assert expired and expired[0].time - wedged_at <= app.config.lease_ttl + 0.5
+    # Re-hosted off the wedged worker; every in-flight call settles
+    # exactly once on the new owners.
+    kernel.run_until_complete(kernel.gather(tasks), timeout=600)
+    kernel.run(until=kernel.now + 3.0)
+    for comp in hosted:
+        assert app.worker_of(comp) != victim_id
+    assert totals_of(app, ids) == {actor_id: 3 for actor_id in ids}
+    assert app.unsettled_call_ids() == []
+
+
+def test_healthy_cluster_never_expires_leases():
+    kernel, app = make_cluster(seed=16)
+    ids = actor_ids_on(app, "comp0", 3)
+    tasks = pump(kernel, app.client(), ids, 5)
+    kernel.run_until_complete(kernel.gather(tasks), timeout=600)
+    # Idle well past several TTLs: renewal keeps every lease fresh.
+    kernel.run(until=kernel.now + 4 * app.config.lease_ttl)
+    assert app.lease_expirations == 0
+    assert app.workers_failed == []

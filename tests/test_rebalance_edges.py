@@ -1,13 +1,17 @@
 """Rebalance edge cases for the scale-out handoff protocol.
 
-Three corners the multi-worker refactor must not bend:
+The corners the multi-worker refactor must not bend:
 
 - a partition handed off *while a retry sits parked* (happen-before parking
   or backoff re-queue) still settles every call exactly once;
 - a generation bump racing a batched produce rejects the stale-epoch batch
   whole -- no partial batch from a superseded incarnation ever lands;
 - a worker leaving gracefully and a worker crashing produce identical
-  settled sets (the only difference is who pays: drain vs. reconciliation).
+  settled sets (the only difference is who pays: drain vs. reconciliation);
+- adaptive placement actions (split, migrate) fired *mid-burst* under
+  zipfian skew preserve exactly-once on both store backends;
+- a migration whose chosen target dies during the drain lands the
+  component on a live worker instead of restarting it on a corpse.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from repro.mq import (
     FencedMemberError,
     StaleLeaseError,
 )
+from repro.persist import PersistenceConfig
 from repro.sim import Kernel
 
 
@@ -234,3 +239,111 @@ def test_graceful_and_crash_leave_settle_identically():
     crash_totals, crash_unsettled, _ = run_leave_scenario(False)
     assert graceful_unsettled == crash_unsettled == ()
     assert graceful_totals == crash_totals == expected
+
+
+# ----------------------------------------------------------------------
+# adaptive placement under skew, mid-burst, both store backends
+# ----------------------------------------------------------------------
+def skewed_ids(app, component_name, count):
+    """Actor ids whose placement hash keys them to ``component_name``."""
+    candidates = sorted(
+        name for name, types in app.component_types.items() if types
+    )
+    ids, index = [], 0
+    while len(ids) < count:
+        actor_id = f"z{index}"
+        ref = actor_proxy("Counter", actor_id)
+        if candidates[ref.stable_hash() % len(candidates)] == component_name:
+            ids.append(actor_id)
+        index += 1
+    return ids
+
+
+@pytest.mark.parametrize("mode", ["memory", "sqlite"])
+def test_skewed_burst_splits_midflight_and_settles_exactly_once(
+    mode, tmp_path
+):
+    overrides = dict(
+        split_threshold=0.35,
+        split_factor=4,
+        rebalance_cooldown=0.3,
+        drain_timeout=0.4,
+    )
+    if mode == "sqlite":
+        overrides["persistence"] = PersistenceConfig(
+            mode="sqlite", root=str(tmp_path / "durable")
+        )
+    kernel, app = make_cluster(seed=21, workers=4, components=4, **overrides)
+    client = app.client()
+    hot = "comp1"
+    ids = skewed_ids(app, hot, 12)
+    bumps = 20
+
+    async def workflow(actor_id):
+        ref = actor_proxy("Counter", actor_id)
+        for _ in range(bumps):
+            await client.invoke(None, ref, "bump", (1,), True)
+
+    tasks = [
+        kernel.spawn(workflow(actor_id), process=client.process)
+        for actor_id in ids
+    ]
+    kernel.run_until_complete(kernel.gather(tasks), timeout=600)
+    # The controller acted while the burst was still in flight...
+    assert app.splits >= 1
+    assert app.trace.of_kind("component.split")[0]["component"] == hot
+    kernel.run(until=kernel.now + 3.0)
+    # ...and every bump still landed exactly once, on either backend.
+    totals = {
+        actor_id: app.run_call(actor_proxy("Counter", actor_id), "get")
+        for actor_id in ids
+    }
+    assert totals == {actor_id: bumps for actor_id in ids}
+    assert app.unsettled_call_ids() == []
+    kernel.check_no_crashes()
+    app.shutdown()
+
+
+# ----------------------------------------------------------------------
+# target worker dies while the migration is draining
+# ----------------------------------------------------------------------
+def test_migration_target_killed_mid_drain_lands_on_live_worker():
+    SlowCallee.runs = 0
+    kernel = Kernel(seed=22)
+    config = KarConfig.fast_test().with_overrides(
+        worker_loop_cost=0.002, cancellation=False
+    )
+    app = KarCluster(kernel, config, "edges", workers=3)
+    app.register_actor(SlowCallee, "SlowCallee")
+    app.add_component("callees", ("SlowCallee",))
+    client = app.client()
+    app.settle()
+
+    ref = actor_proxy("SlowCallee", "c")
+    task = kernel.spawn(
+        client.invoke(None, ref, "task", (1,), True), process=client.process
+    )
+    kernel.run(until=kernel.now + 0.5)  # the callee is mid-sleep
+    assert SlowCallee.runs == 1
+
+    # Start a migration toward a specific target, then kill that target
+    # while the 6s-long callee holds the drain open (drain_timeout is 5s).
+    source = app.worker_of("callees")
+    target = next(
+        wid
+        for wid in sorted(app.workers)
+        if wid != source and app.workers[wid].alive
+    )
+    move = kernel.spawn(app._migrate_component("callees", target))
+    kernel.run(until=kernel.now + 1.0)  # migration is draining
+    app.kill_worker(target)
+    kernel.run_until_complete(move, timeout=60.0)
+
+    landed = app.worker_of("callees")
+    assert landed is not None
+    assert landed != target
+    assert app.workers[landed].alive and not app.workers[landed].retired
+    # The in-flight call settles exactly once on the re-hosted component.
+    assert kernel.run_until_complete(task, timeout=300.0) == 2
+    kernel.run(until=kernel.now + 5.0)
+    assert app.unsettled_call_ids() == []
