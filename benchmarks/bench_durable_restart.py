@@ -93,16 +93,16 @@ def run_restart(mode: str) -> dict:
             kernel.spawn(drive(wid), client.process, name=f"wf{wid}")
         kernel.run(until=kernel.now + CRASH_AT)
 
-        in_flight = len(app.unsettled_call_ids())
+        in_flight = len(app.stats("calls")["unsettled"])
         app.shutdown()  # the whole process dies, mid-workflow
 
         app2 = app.reopen()
         reopen_at = kernel.now
         _deploy(app2)
         deadline = kernel.now + 600.0
-        while app2.unsettled_call_ids() and kernel.now < deadline:
+        while app2.stats("calls")["unsettled"] and kernel.now < deadline:
             kernel.run(until=kernel.now + 0.5)
-        unsettled_after = len(app2.unsettled_call_ids())
+        unsettled_after = len(app2.stats("calls")["unsettled"])
         recovery_seconds = kernel.now - reopen_at
 
         totals = [
@@ -110,7 +110,7 @@ def run_restart(mode: str) -> dict:
             for i in range(TALLIES)
         ]
         copies = app2.trace.count("reconcile.copy")
-        journal_stats = app2.persistence_stats()
+        journal_stats = app2.stats("persistence")
         kernel.check_no_crashes()
         app2.shutdown()  # release file handles before the tmp dir vanishes
         return {

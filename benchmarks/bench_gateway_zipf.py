@@ -1,0 +1,227 @@
+"""Serving-edge load: zipfian traffic over the live HTTP gateway.
+
+Unlike every other benchmark in this suite, the client side here is real:
+requests travel through actual TCP sockets and the hand-rolled HTTP/1.1
+parser before entering the simulated runtime via the kernel bridge. The
+workload touches a large population of *distinct* actor keys exactly once
+each (the cold sweep -- placement entry, activation, state write per key)
+interleaved with a zipfian hot set that keeps a small core of actors
+resident and busy.
+
+Each call increments a per-key counter with a state write; the counter is
+serialized by the actor mailbox, so the stream of values returned for one
+key must be exactly ``1..n`` for ``n`` requests -- the response sum gives a
+closed-form exactly-once check (``n*(n+1)/2``) with O(1) memory per key.
+Lost calls are counted from the wire: every request must come back HTTP 200.
+
+Gates (in ``run_bench_regression.py``): zero lost calls and the full
+distinct-key population served, unconditionally; wall-clock throughput
+against a deliberately conservative absolute floor (real-socket numbers
+vary with runner hardware, so the floor catches collapses, not jitter --
+the measured rate is tracked as an informational metric).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import time
+
+from repro.bench import render_table
+from repro.core import Actor, KarApplication, KarConfig
+from repro.net import KarGateway
+from repro.sim import Kernel
+
+from _shared import FULL, emit
+
+#: Distinct actor keys swept exactly once each (the acceptance criterion
+#: runs the full population; the pytest layer keeps CI's bench job quick).
+KEYS = 100_000 if FULL else 4_000
+#: Zipfian draws over the hot set, interleaved with the cold sweep.
+HOT_DRAWS_RATIO = 0.25
+#: Hot-set size and skew (s=1.1 concentrates ~half the draws on ~40 keys).
+HOT_SET = 512
+ZIPF_S = 1.1
+#: Concurrent keep-alive connections, each with one request in flight.
+CONNECTIONS = 64
+#: Components hosting the actor population.
+COMPONENTS = 4
+
+#: Conservative absolute wall-clock floor (requests/second) -- a collapse
+#: detector, not a performance target.
+THROUGHPUT_FLOOR = 300.0
+
+
+class HitCounter(Actor):
+    """Per-key counter with a persisted write on every call."""
+
+    async def hit(self, ctx):
+        total = await ctx.state.get("n", 0) + 1
+        await ctx.state.set("n", total)
+        return total
+
+
+def _schedule(keys: int, hot_draws: int, seed: int) -> list[int]:
+    """Cold sweep of every key once, shuffled together with hot-set draws."""
+    rng = random.Random(seed)
+    sequence = list(range(keys))
+    weights = [1.0 / (rank + 1) ** ZIPF_S for rank in range(HOT_SET)]
+    hot = rng.choices(range(min(HOT_SET, keys)), weights=weights[: min(HOT_SET, keys)], k=hot_draws)
+    sequence.extend(hot)
+    rng.shuffle(sequence)
+    return sequence
+
+
+def _deploy(seed: int):
+    kernel = Kernel(seed=seed)
+    config = KarConfig.fast_test().with_overrides(
+        # The cold sweep activates every key once; idle passivation lets
+        # the long tail leave memory while the zipfian core stays resident.
+        idle_passivation_timeout=60.0,
+    )
+    app = KarApplication(kernel, config, name="edge")
+    app.register_actor(HitCounter, name="Hit")
+    for index in range(COMPONENTS):
+        app.add_component(f"w{index}", ("Hit",))
+    app.settle()
+    return kernel, app
+
+
+async def _lane(host: str, port: int, pending, counts, failures) -> int:
+    """One keep-alive connection draining the shared schedule."""
+    reader, writer = await asyncio.open_connection(host, port)
+    served = 0
+    try:
+        while True:
+            try:
+                key = pending.pop()
+            except IndexError:
+                break
+            path = f"/actor/Hit/k{key}/call/hit"
+            head = (
+                f"POST {path} HTTP/1.1\r\nHost: b\r\n"
+                "Content-Length: 0\r\n\r\n"
+            )
+            writer.write(head.encode())
+            await writer.drain()
+            raw_head = await reader.readuntil(b"\r\n\r\n")
+            status_line, *header_lines = raw_head.decode("latin-1").split("\r\n")
+            status = int(status_line.split(" ")[1])
+            length = 0
+            for line in header_lines:
+                if line.lower().startswith("content-length:"):
+                    length = int(line.split(":")[1])
+            body = await reader.readexactly(length)
+            if status == 200:
+                value = json.loads(body)["value"]
+                entry = counts.get(key)
+                if entry is None:
+                    counts[key] = [1, value]
+                else:
+                    entry[0] += 1
+                    entry[1] += value
+                served += 1
+            else:
+                failures.append((key, status, body[:200]))
+    finally:
+        writer.close()
+    return served
+
+
+def measure(keys: int = KEYS, connections: int = CONNECTIONS) -> dict:
+    """Run the workload; returns the headline metrics."""
+    kernel, app = _deploy(seed=31)
+    hot_draws = int(keys * HOT_DRAWS_RATIO)
+    schedule = _schedule(keys, hot_draws, seed=77)
+    total_requests = len(schedule)
+
+    # Lanes pop from the tail of a shared list (O(1), no locks needed on
+    # one event loop); per-key state is [count, sum-of-returned-values].
+    pending = list(reversed(schedule))
+    counts: dict[int, list[int]] = {}
+    failures: list = []
+
+    async def drive():
+        gateway = KarGateway(app, port=0, sync_timeout=120.0)
+        host, port = await gateway.start()
+        started = time.monotonic()
+        lanes = await asyncio.gather(
+            *(
+                _lane(host, port, pending, counts, failures)
+                for _ in range(connections)
+            )
+        )
+        elapsed = time.monotonic() - started
+        latency = app.stats("gateway")["routes"][
+            "POST /actor/{type}/{id}/call/{method}"
+        ]["latency"]
+        await gateway.stop()
+        return sum(lanes), elapsed, latency
+
+    served, elapsed, latency = asyncio.run(drive())
+    kernel.check_no_crashes()
+
+    # Exactly-once, from the responses alone: each key's serialized counter
+    # must have returned exactly the values 1..n.
+    expected: dict[int, int] = {}
+    for key in schedule:
+        expected[key] = expected.get(key, 0) + 1
+    mismatched = 0
+    for key, want in expected.items():
+        entry = counts.get(key, (0, 0))
+        if entry[0] != want or entry[1] != want * (want + 1) // 2:
+            mismatched += 1
+
+    unsettled = len(app.stats("calls")["unsettled"])
+    app.shutdown()
+    return {
+        "requests": total_requests,
+        "distinct_keys": len(counts),
+        "distinct_keys_target": keys,
+        "served": served,
+        "lost": total_requests - served,
+        "mismatched_keys": mismatched,
+        "unsettled": unsettled,
+        "failures": failures[:10],
+        "elapsed_s": elapsed,
+        "requests_per_s": total_requests / elapsed if elapsed else 0.0,
+        "call_p50_ms": latency["p50_ms"],
+        "call_p99_ms": latency["p99_ms"],
+    }
+
+
+def test_gateway_serves_zipfian_load_with_zero_lost_calls(benchmark):
+    row = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    emit(
+        "gateway_zipf.txt",
+        render_table(
+            ["Requests", "Distinct keys", "Lost", "Mismatched", "Req/s",
+             "p50 (ms)", "p99 (ms)"],
+            [
+                (
+                    row["requests"],
+                    row["distinct_keys"],
+                    row["lost"],
+                    row["mismatched_keys"],
+                    round(row["requests_per_s"], 1),
+                    row["call_p50_ms"],
+                    row["call_p99_ms"],
+                )
+            ],
+            title=(
+                f"HTTP gateway under zipfian load ({CONNECTIONS} "
+                f"connections, hot set {HOT_SET}, s={ZIPF_S})"
+            ),
+            digits=3,
+        ),
+    )
+    benchmark.extra_info["requests_per_s"] = round(row["requests_per_s"], 1)
+
+    assert row["failures"] == []
+    assert row["lost"] == 0
+    assert row["distinct_keys"] == row["distinct_keys_target"]
+    assert row["mismatched_keys"] == 0
+    assert row["unsettled"] == 0
+    assert row["requests_per_s"] >= THROUGHPUT_FLOOR

@@ -124,7 +124,7 @@ def run_storm(guards: bool) -> dict:
     in_window = [(i, s) for i, s in completions if s <= window_end]
     goodput = len(in_window) / WINDOW
     p99 = _p99([settled - issued for issued, settled in in_window])
-    storm_stats = app.overload_stats()
+    storm_stats = app.stats("overload")
 
     # Heal the fault, replay anything parked, and drain: the zero-loss
     # acceptance -- every issued call settles exactly once eventually.
@@ -135,18 +135,18 @@ def run_storm(guards: bool) -> dict:
         if not app.components["victim"].alive:
             app.restart_component("victim")
             restarts += 1
-        if app.overload_stats()["dead_letter_depth"]:
+        if app.stats("overload")["dead_letter_depth"]:
             replayed += app.redeliver_dead_letters()["replayed"]
-        if not app.unsettled_call_ids() and all(
+        if not app.stats("calls")["unsettled"] and all(
             t.done() for t in tasks + poison_tasks
         ):
             break
         kernel.run(until=kernel.now + SUPERVISOR_TICK)
 
-    final_stats = app.overload_stats()
+    final_stats = app.stats("overload")
     lost = (
         len([t for t in tasks + poison_tasks if not t.done()])
-        + len(app.unsettled_call_ids())
+        + len(app.stats("calls")["unsettled"])
         + final_stats["dead_letter_depth"]
     )
     return {

@@ -125,11 +125,11 @@ def run_kill(mode: str) -> dict:
             for cid in range(KILL_COUNTERS)
         ]
         kernel.run(until=kernel.now + 0.05)  # workflows mid-flight
-        in_flight = len(app.unsettled_call_ids())
+        in_flight = len(app.stats("calls")["unsettled"])
         app.kill_worker("w0")
         kernel.run_until_complete(kernel.gather(tasks), timeout=3600.0)
         kernel.run(until=kernel.now + 5.0)
-        unsettled_after = len(app.unsettled_call_ids())
+        unsettled_after = len(app.stats("calls")["unsettled"])
         totals = [
             app.run_call(actor_proxy("Tally", f"t{cid}"), "get")
             for cid in range(KILL_COUNTERS)

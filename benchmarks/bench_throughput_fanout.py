@@ -80,7 +80,7 @@ def run_fanout(label: str, **overrides) -> dict:
     kernel.run_until_complete(kernel.gather(tasks), timeout=3600.0)
     kernel.check_no_crashes()
     samples.sort()
-    stats = app.transport_stats()
+    stats = app.stats("transport")
     return {
         "label": label,
         "round_trips": app.broker.produce_count - round_trips_before,
@@ -156,7 +156,7 @@ def run_stateful(label: str, codec: str, **overrides) -> dict:
             if stat.count_diff > 0
         )
         journal_bytes = os.path.getsize(os.path.join(root, "fanout.journal"))
-        stats = app.store_stats()
+        stats = app.stats("store")
         app.shutdown()
         return {
             "label": label,

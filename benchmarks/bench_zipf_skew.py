@@ -150,7 +150,7 @@ def run_mode(adaptive: bool) -> dict:
     kernel.check_no_crashes()
     makespan = kernel.now - start
     deadline = kernel.now + 30.0  # let the tail (and any merges) settle
-    while kernel.now < deadline and app.unsettled_call_ids():
+    while kernel.now < deadline and app.stats("calls")["unsettled"]:
         kernel.run(until=kernel.now + 1.0)
     kernel.run(until=kernel.now + 2.0)
 
@@ -166,8 +166,8 @@ def run_mode(adaptive: bool) -> dict:
         max(0, totals[actor_id] - want)
         for actor_id, want in expected.items()
     )
-    unsettled = len(app.unsettled_call_ids())
-    placement = app.placement_stats()
+    unsettled = len(app.stats("calls")["unsettled"])
+    placement = app.stats("placement")
     app.shutdown()
     return {
         "mode": "adaptive" if adaptive else "static",

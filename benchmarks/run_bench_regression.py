@@ -21,8 +21,11 @@ goodput ratio and the multi-worker scale-out speedups gate in the other
 direction (lower = worse, fail below baseline * 0.90 or the absolute
 acceptance floors: 3x storm goodput, 1.5x at two workers, 2x at four, and
 1.5x adaptive-over-static under zipfian skew), and lost calls -- storm,
-scale-out, or zipf -- fail unconditionally. The rest are informational and
-tracked through the uploaded artifact.
+scale-out, zipf, or the HTTP gateway -- fail unconditionally. The gateway
+workload runs 100k distinct actor keys through a live socket and must lose
+nothing and clear a conservative absolute requests/s floor (wall-clock, so
+baseline-relative gating would flake on runner noise). The rest are
+informational and tracked through the uploaded artifact.
 """
 
 from __future__ import annotations
@@ -68,6 +71,14 @@ SCALEOUT_SPEEDUP_4W_FLOOR = 2.0
 #: Absolute floor for adaptive placement vs static hashing under zipfian
 #: skew (the acceptance criterion of the placement controller).
 ZIPF_RATIO_FLOOR = 1.5
+#: The serving-edge acceptance criterion: the full distinct-key population
+#: must be served through the live HTTP gateway with zero lost calls.
+GATEWAY_KEYS_TARGET = 100_000
+#: Conservative absolute wall-clock floor for the gateway (requests/s).
+#: Real sockets vary with runner hardware, so like codec_speedup_ratio the
+#: measured rate is informational vs the baseline; the floor only catches
+#: collapses.
+GATEWAY_THROUGHPUT_FLOOR = 300.0
 
 
 def collect_metrics() -> dict[str, float]:
@@ -202,6 +213,19 @@ def collect_metrics() -> dict[str, float]:
         row["lost_calls"] + row["double_commits"]
         for row in (zipf["static"], zipf["adaptive"])
     )
+
+    print("running HTTP gateway zipfian workload ...", flush=True)
+    import bench_gateway_zipf
+
+    gateway = bench_gateway_zipf.measure(keys=GATEWAY_KEYS_TARGET)
+    metrics["gateway_requests"] = gateway["requests"]
+    metrics["gateway_distinct_keys"] = gateway["distinct_keys"]
+    metrics["gateway_lost_calls"] = (
+        gateway["lost"] + gateway["mismatched_keys"] + gateway["unsettled"]
+    )
+    metrics["gateway_requests_per_s"] = round(gateway["requests_per_s"], 1)
+    metrics["gateway_call_p50_ms"] = gateway["call_p50_ms"]
+    metrics["gateway_call_p99_ms"] = gateway["call_p99_ms"]
     return metrics
 
 
@@ -251,6 +275,21 @@ def check(metrics: dict[str, float], baseline: dict[str, float]) -> list[str]:
             "zipf_adaptive_vs_static_ratio "
             f"{metrics.get('zipf_adaptive_vs_static_ratio')} below the "
             f"{ZIPF_RATIO_FLOOR}x acceptance floor"
+        )
+    if metrics.get("gateway_lost_calls", 0) != 0:
+        failures.append(
+            "HTTP gateway lost, duplicated, or left unsettled calls (every "
+            "request must come back 200 with an exactly-once counter value)"
+        )
+    if metrics.get("gateway_distinct_keys", 0) < GATEWAY_KEYS_TARGET:
+        failures.append(
+            f"gateway_distinct_keys {metrics.get('gateway_distinct_keys')} "
+            f"below the {GATEWAY_KEYS_TARGET} acceptance target"
+        )
+    if metrics.get("gateway_requests_per_s", 0.0) < GATEWAY_THROUGHPUT_FLOOR:
+        failures.append(
+            f"gateway_requests_per_s {metrics.get('gateway_requests_per_s')} "
+            f"below the {GATEWAY_THROUGHPUT_FLOOR}/s absolute floor"
         )
     for name in GATED_LOWER_IS_WORSE:
         if name not in baseline:

@@ -68,7 +68,7 @@ def overload_guard_scenario():
         for n in range(3)
     ]
     kernel.run(until=kernel.now + 2.0)
-    stats = app.overload_stats()
+    stats = app.stats("overload")
     print(
         f"breaker open: {stats['diverted']} calls parked durably "
         f"(dead-letter depth {stats['dead_letter_depth']})"

@@ -16,7 +16,7 @@ from __future__ import annotations
 from repro.bench.configs import ClusterProfile
 from repro.bench.stats import summary_stats
 from repro.core import Actor, KarApplication, actor_proxy
-from repro.net import HttpEndpoint
+from repro.net import DirectHttpBaseline
 from repro.mq import Broker, BrokerConfig, GroupCoordinator
 from repro.sim import Kernel, SimProcess
 
@@ -42,7 +42,7 @@ class LatencyHarness:
     # ------------------------------------------------------------------
     def measure_direct_http(self) -> dict:
         kernel = Kernel(seed=self.seed)
-        endpoint = HttpEndpoint(
+        endpoint = DirectHttpBaseline(
             kernel, rtt=self.profile.http_rtt,
             handler=lambda payload: payload,
         )

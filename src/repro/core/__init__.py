@@ -14,6 +14,7 @@ Public surface:
 """
 
 from repro.core.actor import Actor, ActorRegistry
+from repro.core.api import KarApi
 from repro.core.app import KarApplication
 from repro.core.cluster import DecayingCounter, KarCluster, KarWorker, WorkerLoop
 from repro.core.config import KarConfig
@@ -22,9 +23,11 @@ from repro.core.dispatcher import ActorMailbox
 from repro.core.envelope import Request, Response, TailCall
 from repro.core.errors import (
     ActorMethodError,
+    BreakerOpenError,
     InvocationCancelled,
     KarError,
     NoPlacementError,
+    UnknownActorTypeError,
 )
 from repro.core.overload import (
     BackoffPolicy,
@@ -53,12 +56,14 @@ __all__ = [
     "ActorStateAPI",
     "ActorStateCache",
     "BackoffPolicy",
+    "BreakerOpenError",
     "CircuitBreaker",
     "Component",
     "DeadLetter",
     "DecayingCounter",
     "HashRing",
     "InvocationCancelled",
+    "KarApi",
     "KarApplication",
     "KarCluster",
     "KarConfig",
@@ -75,6 +80,7 @@ __all__ = [
     "Response",
     "Router",
     "TailCall",
+    "UnknownActorTypeError",
     "WorkerLoop",
     "actor_proxy",
     "parent_partition",

@@ -18,10 +18,12 @@ drives every unsettled call to completion (Section 4.3 run from bytes).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import replace
 from typing import Any
 
 from repro.core.actor import Actor, ActorRegistry
+from repro.core.api import KarApi
 from repro.core.config import KarConfig
 from repro.core.envelope import Request, Response
 from repro.core.overload import DEAD_LETTER_PARTITION, DeadLetter
@@ -105,9 +107,13 @@ class KarApplication:
         self.workers: dict[str, Any] = {}
         self._epochs: dict[str, int] = self._restore_epochs()
         self._client: Component | None = None
+        self._api: KarApi | None = None
         self._shutdown = False
         self.reminders_in_use = False
         self.external_services: list[Any] = []
+        #: Serving-edge observability plane, attached by the HTTP gateway
+        #: (``repro.net.gateway``); surfaced as ``stats()["gateway"]``.
+        self.gateway_metrics: Any = None
 
     # ------------------------------------------------------------------
     # persistence lifecycle
@@ -296,26 +302,51 @@ class KarApplication:
             for member in self.coordinator.member_ids()
         )
 
-    def stats(self) -> dict[str, Any]:
-        """The unified evidence surface: every counter family under one
-        roof, plus a per-worker breakdown in scale-out mode. The historical
-        accessors (``transport_stats`` et al.) remain as the per-family
-        views this dict is assembled from."""
-        return {
-            "transport": self.transport_stats(),
-            "store": self.store_stats(),
-            "persistence": self.persistence_stats(),
-            "overload": self.overload_stats(),
-            "workers": {
-                worker_id: worker.stats()
-                for worker_id, worker in self.workers.items()
-            },
-        }
+    def api(self, client_name: str = "gateway") -> KarApi:
+        """The narrow external-operation facade (the sidecar surface the
+        HTTP gateway binds to). One facade per application, created on
+        first use; its client component starts lazily on first operation."""
+        if self._api is None:
+            self._api = KarApi(self, client_name)
+        return self._api
 
-    def transport_stats(self) -> dict[str, int]:
-        """Aggregate transport counters across the broker and every current
-        component incarnation's router -- the evidence surface for the
-        throughput benchmarks (round trips vs. records sent)."""
+    # ------------------------------------------------------------------
+    # the unified evidence surface
+    # ------------------------------------------------------------------
+    def stats(self, family: str | None = None) -> dict[str, Any]:
+        """The unified evidence tree: every counter family under one
+        namespaced roof, with the same shape on :class:`KarApplication`
+        and :class:`~repro.core.cluster.KarCluster`.
+
+        ``stats()`` assembles the whole tree; ``stats("transport")``
+        returns just one family without paying for the others (the cheap
+        form for polling loops). Families: ``transport``, ``store``,
+        ``persistence``, ``overload``, ``calls``, ``placement``,
+        ``gateway``, ``workers``.
+        """
+        builders = {
+            "transport": self._transport_stats,
+            "store": self._store_stats,
+            "persistence": self._persistence_stats,
+            "overload": self._overload_stats,
+            "calls": self._calls_stats,
+            "placement": self._placement_stats,
+            "gateway": self._gateway_stats,
+            "workers": self._workers_stats,
+        }
+        if family is not None:
+            try:
+                return builders[family]()
+            except KeyError:
+                raise KeyError(
+                    f"unknown stats family {family!r}; "
+                    f"expected one of {sorted(builders)}"
+                ) from None
+        return {name: build() for name, build in builders.items()}
+
+    def _transport_stats(self) -> dict[str, int]:
+        """Broker + per-router transport counters: the evidence surface
+        for the throughput benchmarks (round trips vs. records sent)."""
         routers = [c.router for c in self.components.values()]
         return {
             "produce_round_trips": self.broker.produce_count,
@@ -327,10 +358,9 @@ class KarApplication:
             ),
         }
 
-    def store_stats(self) -> dict[str, int]:
+    def _store_stats(self) -> dict[str, int]:
         """Store-side pipeline counters: latency-paying round trips vs.
-        operations landed -- the evidence surface for the pipelined-I/O
-        benchmarks, mirroring :meth:`transport_stats` for the send outbox."""
+        operations landed, mirroring the transport family for the outbox."""
         clients = [
             c.store_client
             for c in self.components.values()
@@ -350,6 +380,86 @@ class KarApplication:
                 default=0,
             ),
         }
+
+    def _calls_stats(self) -> dict[str, Any]:
+        """Journal-derived call settlement: the reconciliation leader's own
+        pending-call criterion (Section 4.3) applied to the current
+        journals. After recovery has run and the workload drained,
+        ``unsettled`` must be empty -- every in-flight call at crash time
+        was driven to a durable completion."""
+        unsettled = self._unsettled_call_ids()
+        return {"unsettled": unsettled, "unsettled_count": len(unsettled)}
+
+    def _placement_stats(self) -> dict[str, Any]:
+        """Single-loop applications have no placement controller; the
+        family keeps the cluster's shape with everything at rest so
+        consumers read one schema against both runtimes."""
+        return {
+            "adaptive": False,
+            "migrations": 0,
+            "splits": 0,
+            "merges": 0,
+            "lease_expirations": 0,
+            "split_children": {},
+            "controller": {},
+            "load": {},
+        }
+
+    def _gateway_stats(self) -> dict[str, Any]:
+        """The serving edge's per-route/per-actor-type counters and call
+        latency histograms, when an HTTP gateway is attached."""
+        if self.gateway_metrics is None:
+            return {"attached": False}
+        snapshot = dict(self.gateway_metrics.snapshot())
+        snapshot["attached"] = True
+        return snapshot
+
+    def _workers_stats(self) -> dict[str, Any]:
+        return {
+            worker_id: worker.stats()
+            for worker_id, worker in self.workers.items()
+        }
+
+    # ------------------------------------------------------------------
+    # deprecated per-family accessors (use ``stats(family)`` instead)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _deprecated(old: str, new: str) -> None:
+        warnings.warn(
+            f"KarApplication.{old}() is deprecated; use {new} instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def transport_stats(self) -> dict[str, int]:
+        """Deprecated alias for ``stats("transport")``."""
+        self._deprecated("transport_stats", 'stats("transport")')
+        return self._transport_stats()
+
+    def store_stats(self) -> dict[str, int]:
+        """Deprecated alias for ``stats("store")``."""
+        self._deprecated("store_stats", 'stats("store")')
+        return self._store_stats()
+
+    def overload_stats(self) -> dict[str, Any]:
+        """Deprecated alias for ``stats("overload")``."""
+        self._deprecated("overload_stats", 'stats("overload")')
+        return self._overload_stats()
+
+    def persistence_stats(self) -> dict[str, int]:
+        """Deprecated alias for ``stats("persistence")``."""
+        self._deprecated("persistence_stats", 'stats("persistence")')
+        return self._persistence_stats()
+
+    def placement_stats(self) -> dict[str, Any]:
+        """Deprecated alias for ``stats("placement")``."""
+        self._deprecated("placement_stats", 'stats("placement")')
+        return self._placement_stats()
+
+    def unsettled_call_ids(self) -> list[str]:
+        """Deprecated alias for ``stats("calls")["unsettled"]``."""
+        self._deprecated("unsettled_call_ids", 'stats("calls")["unsettled"]')
+        return self._unsettled_call_ids()
 
     # ------------------------------------------------------------------
     # overload control: the dead-letter parking lot
@@ -384,9 +494,9 @@ class KarApplication:
             letter.request.dedup_key for letter in self._dead_letter_values()
         }
 
-    def overload_stats(self) -> dict[str, Any]:
+    def _overload_stats(self) -> dict[str, Any]:
         """Aggregate overload-control evidence across the current component
-        incarnations (like ``transport_stats``): retry-budget consumption,
+        incarnations (like the transport family): retry-budget consumption,
         breaker states and transitions, shed counts, and the dead letters
         currently parked, each with its full failure history."""
         guards = [
@@ -507,14 +617,8 @@ class KarApplication:
     # ------------------------------------------------------------------
     # durability evidence (cold-restart benchmarks and tests)
     # ------------------------------------------------------------------
-    def unsettled_call_ids(self) -> list[str]:
-        """Request ids with a retained request record but no response.
-
-        This is the reconciliation leader's own pending-call criterion
-        (Section 4.3) applied to the current journals: after recovery has
-        run and the workload drained, it must be empty -- every in-flight
-        call at crash time was driven to a durable completion.
-        """
+    def _unsettled_call_ids(self) -> list[str]:
+        """Request ids with a retained request record but no response."""
         topic = self.broker.topics.get(self.topic_name)
         if topic is None:
             return []
@@ -528,7 +632,7 @@ class KarApplication:
                 requested.add(envelope.request_id)
         return sorted(requested - responded)
 
-    def persistence_stats(self) -> dict[str, int]:
+    def _persistence_stats(self) -> dict[str, int]:
         """Durable-layer counters: journal volume, compaction, replay."""
         log = self.broker.log
         return {

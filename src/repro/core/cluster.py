@@ -788,7 +788,7 @@ class KarCluster(KarApplication):
     # ------------------------------------------------------------------
     # evidence surface
     # ------------------------------------------------------------------
-    def placement_stats(self) -> dict[str, Any]:
+    def _placement_stats(self) -> dict[str, Any]:
         """The adaptive-placement slice of the unified evidence surface."""
         return {
             "adaptive": self.config.adaptive_placement,
@@ -803,11 +803,6 @@ class KarCluster(KarApplication):
             "controller": self.placement_ctl.stats(),
             "load": self.placement_ctl.load_snapshot(),
         }
-
-    def stats(self) -> dict[str, Any]:
-        stats = super().stats()
-        stats["placement"] = self.placement_stats()
-        return stats
 
     # ------------------------------------------------------------------
     # lifecycle

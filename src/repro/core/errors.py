@@ -2,9 +2,11 @@
 
 __all__ = [
     "ActorMethodError",
+    "BreakerOpenError",
     "InvocationCancelled",
     "KarError",
     "NoPlacementError",
+    "UnknownActorTypeError",
 ]
 
 
@@ -35,3 +37,36 @@ class InvocationCancelled(KarError):
 
 class NoPlacementError(KarError):
     """No live component supports the requested actor type."""
+
+
+class UnknownActorTypeError(KarError):
+    """The requested actor type is not registered with the application.
+
+    Raised at the admission edge (the :class:`~repro.core.api.KarApi`
+    facade) before a request enters the runtime, so an external caller's
+    typo never mints a placement entry or a journal record.
+    """
+
+    def __init__(self, actor_type: str):
+        super().__init__(f"unknown actor type {actor_type!r}")
+        self.actor_type = actor_type
+
+
+class BreakerOpenError(KarError):
+    """The (actor type, method) circuit breaker is open.
+
+    Raised by the admission edge instead of queueing an invocation that the
+    executing component would immediately divert to the dead-letter parking
+    lot -- an external caller gets an immediate "unavailable, retry later"
+    with the breaker's remaining cooldown, rather than a request that only
+    settles after operator-driven redelivery.
+    """
+
+    def __init__(self, actor_type: str, method: str, retry_after: float):
+        super().__init__(
+            f"circuit breaker open for {actor_type}.{method}; "
+            f"retry after {retry_after:.3f}s"
+        )
+        self.actor_type = actor_type
+        self.method = method
+        self.retry_after = retry_after

@@ -287,7 +287,7 @@ class OverloadGuard:
 
     One guard per component incarnation; it shares the component's fate
     exactly like its dedup evidence does. Counters are the evidence
-    surface aggregated by ``KarApplication.overload_stats``.
+    surface aggregated into ``KarApplication.stats()["overload"]``.
     """
 
     def __init__(self, config: "KarConfig", kernel: "Kernel"):

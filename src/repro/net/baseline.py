@@ -1,0 +1,45 @@
+"""A minimal direct request/response transport.
+
+Models the Table 2 "Direct HTTP" baseline: a non-resilient POST over an
+established connection between two processes on different worker nodes.
+No queues, no durability -- if either side dies, the request is simply lost,
+which is exactly why the paper contrasts it against reliable messaging.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim import Kernel, Latency
+
+__all__ = ["DirectHttpBaseline"]
+
+
+class DirectHttpBaseline:
+    """One server endpoint with a fixed round-trip cost.
+
+    ``rtt`` may be a float (seconds, split evenly between the two legs) or a
+    :class:`Latency` sampled per leg.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        rtt: float | Latency,
+        handler: Callable[[Any], Any],
+    ):
+        self.kernel = kernel
+        if isinstance(rtt, Latency):
+            self._leg = rtt.scaled(0.5)
+        else:
+            self._leg = Latency.fixed(rtt / 2)
+        self.handler = handler
+        self.requests_served = 0
+
+    async def request(self, payload: Any) -> Any:
+        """Client call: one network leg, handler, one leg back."""
+        await self.kernel.sleep(self._leg.sample(self.kernel.rng))
+        self.requests_served += 1
+        response = self.handler(payload)
+        await self.kernel.sleep(self._leg.sample(self.kernel.rng))
+        return response

@@ -1,45 +1,13 @@
-"""A minimal direct request/response transport.
+"""Backward-compatibility shim: the baseline moved to :mod:`repro.net.baseline`.
 
-Models the Table 2 "Direct HTTP" baseline: a non-resilient POST over an
-established connection between two processes on different worker nodes.
-No queues, no durability -- if either side dies, the request is simply lost,
-which is exactly why the paper contrasts it against reliable messaging.
+``HttpEndpoint`` was a misleading name once :mod:`repro.net.gateway` arrived --
+the class is the paper's *non-resilient* Table 2 baseline, not a serving
+endpoint. Import :class:`~repro.net.baseline.DirectHttpBaseline` instead.
 """
 
-from __future__ import annotations
+from repro.net.baseline import DirectHttpBaseline
 
-from typing import Any, Callable
-
-from repro.sim import Kernel, Latency
+#: Deprecated alias kept for existing imports.
+HttpEndpoint = DirectHttpBaseline
 
 __all__ = ["HttpEndpoint"]
-
-
-class HttpEndpoint:
-    """One server endpoint with a fixed round-trip cost.
-
-    ``rtt`` may be a float (seconds, split evenly between the two legs) or a
-    :class:`Latency` sampled per leg.
-    """
-
-    def __init__(
-        self,
-        kernel: Kernel,
-        rtt: float | Latency,
-        handler: Callable[[Any], Any],
-    ):
-        self.kernel = kernel
-        if isinstance(rtt, Latency):
-            self._leg = rtt.scaled(0.5)
-        else:
-            self._leg = Latency.fixed(rtt / 2)
-        self.handler = handler
-        self.requests_served = 0
-
-    async def request(self, payload: Any) -> Any:
-        """Client call: one network leg, handler, one leg back."""
-        await self.kernel.sleep(self._leg.sample(self.kernel.rng))
-        self.requests_served += 1
-        response = self.handler(payload)
-        await self.kernel.sleep(self._leg.sample(self.kernel.rng))
-        return response

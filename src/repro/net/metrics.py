@@ -1,0 +1,159 @@
+"""Serving-edge observability: per-route counters and latency histograms.
+
+The gateway records one observation per HTTP exchange -- route template
+(never the raw path, so cardinality stays bounded), status code, wall-clock
+latency, and the actor type where the route names one. Snapshots feed both
+``GET /system/stats`` and the ``gateway`` family of the application's
+unified ``stats()`` tree.
+
+Histograms are fixed log2-spaced buckets (no dependency, O(1) observe,
+exact counts); percentiles report the upper edge of the bucket that crosses
+the rank, which is the usual monitoring-grade approximation.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["GatewayMetrics", "LatencyHistogram"]
+
+#: First bucket upper edge (seconds); each next bucket doubles.
+_FIRST_EDGE = 0.0001
+#: Bucket count; the last finite edge is ``_FIRST_EDGE * 2**(_BUCKETS-1)``
+#: (~26 s), with one overflow bucket above it.
+_BUCKETS = 19
+
+
+class LatencyHistogram:
+    """Log2-bucketed latency distribution over seconds."""
+
+    __slots__ = ("counts", "overflow", "total", "sum_seconds", "max_seconds")
+
+    def __init__(self) -> None:
+        self.counts = [0] * _BUCKETS
+        self.overflow = 0
+        self.total = 0
+        self.sum_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.total += 1
+        self.sum_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+        edge = _FIRST_EDGE
+        for index in range(_BUCKETS):
+            if seconds <= edge:
+                self.counts[index] += 1
+                return
+            edge *= 2.0
+        self.overflow += 1
+
+    def percentile(self, quantile: float) -> float:
+        """The upper edge of the bucket containing the given quantile."""
+        if self.total == 0:
+            return 0.0
+        rank = quantile * self.total
+        seen = 0.0
+        edge = _FIRST_EDGE
+        for index in range(_BUCKETS):
+            seen += self.counts[index]
+            if seen >= rank:
+                return edge
+            edge *= 2.0
+        return self.max_seconds
+
+    def snapshot(self) -> dict[str, float]:
+        mean = self.sum_seconds / self.total if self.total else 0.0
+        return {
+            "count": float(self.total),
+            "mean_ms": round(mean * 1000.0, 4),
+            "p50_ms": round(self.percentile(0.50) * 1000.0, 4),
+            "p95_ms": round(self.percentile(0.95) * 1000.0, 4),
+            "p99_ms": round(self.percentile(0.99) * 1000.0, 4),
+            "max_ms": round(self.max_seconds * 1000.0, 4),
+        }
+
+
+class _RouteMetrics:
+    __slots__ = ("requests", "errors", "statuses", "latency")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.errors = 0
+        self.statuses: dict[int, int] = {}
+        self.latency = LatencyHistogram()
+
+
+class GatewayMetrics:
+    """Aggregated serving-edge counters, keyed by route template."""
+
+    def __init__(self) -> None:
+        self._routes: dict[str, _RouteMetrics] = {}
+        self._actor_types: dict[str, dict[str, int]] = {}
+        self.requests_total = 0
+        self.errors_total = 0
+
+    def observe(
+        self,
+        route: str,
+        status: int,
+        seconds: float,
+        actor_type: str | None = None,
+        kind: str | None = None,
+    ) -> None:
+        """Record one HTTP exchange.
+
+        ``route`` is the matched route template (e.g.
+        ``POST /actor/{type}/{id}/call/{method}``); ``kind`` tags the
+        per-actor-type counter to bump (``calls`` / ``tells`` / ``state`` /
+        ``reminders``).
+        """
+        metrics = self._routes.get(route)
+        if metrics is None:
+            metrics = self._routes[route] = _RouteMetrics()
+        metrics.requests += 1
+        metrics.statuses[status] = metrics.statuses.get(status, 0) + 1
+        metrics.latency.observe(seconds)
+        self.requests_total += 1
+        failed = status >= 400
+        if failed:
+            metrics.errors += 1
+            self.errors_total += 1
+        if actor_type is not None:
+            counters = self._actor_types.get(actor_type)
+            if counters is None:
+                counters = self._actor_types[actor_type] = {
+                    "calls": 0,
+                    "tells": 0,
+                    "state": 0,
+                    "reminders": 0,
+                    "errors": 0,
+                }
+            if kind is not None and kind in counters:
+                counters[kind] += 1
+            if failed:
+                counters["errors"] += 1
+
+    def snapshot(self) -> dict[str, Any]:
+        """The full observability tree (stable key order for evidence)."""
+        return {
+            "requests_total": self.requests_total,
+            "errors_total": self.errors_total,
+            "routes": {
+                route: {
+                    "requests": metrics.requests,
+                    "errors": metrics.errors,
+                    "statuses": {
+                        str(status): count
+                        for status, count in sorted(metrics.statuses.items())
+                    },
+                    "latency": metrics.latency.snapshot(),
+                }
+                for route, metrics in sorted(self._routes.items())
+            },
+            "actor_types": {
+                actor_type: dict(counters)
+                for actor_type, counters in sorted(self._actor_types.items())
+            },
+        }

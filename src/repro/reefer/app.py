@@ -138,6 +138,12 @@ class ReeferApplication:
     def run_for(self, seconds: float) -> None:
         self.kernel.run(until=self.kernel.now + seconds)
 
+    def gateway(self, host: str = "127.0.0.1", port: int = 0, **kwargs):
+        """The HTTP serving edge for this deployment (Figure 5a's WebAPI)."""
+        from repro.reefer.webapi import ReeferWebAPI
+
+        return ReeferWebAPI(self, host=host, port=port, **kwargs)
+
     def stop_workload(self) -> None:
         self.order_simulator.stop()
         self.anomaly_simulator.stop()

@@ -95,11 +95,13 @@ def test_unified_stats_reports_per_worker():
         "overload",
         "workers",
         "placement",
+        "calls",
+        "gateway",
     }
-    # The old accessors remain and agree with the unified surface.
-    assert stats["transport"] == app.transport_stats()
-    assert stats["store"] == app.store_stats()
-    assert stats["persistence"] == app.persistence_stats()
+    # Single-family access agrees with the full tree.
+    assert stats["transport"] == app.stats("transport")
+    assert stats["store"] == app.stats("store")
+    assert stats["persistence"] == app.stats("persistence")
     assert set(stats["workers"]) == {"w0", "w1"}
     charged = sum(w["calls_charged"] for w in stats["workers"].values())
     assert charged >= 20
@@ -110,7 +112,7 @@ def test_unified_stats_reports_per_worker():
         w["busy_seconds_total"] >= w["busy_seconds"]
         for w in stats["workers"].values()
     )
-    assert stats["placement"] == app.placement_stats()
+    assert stats["placement"] == app.stats("placement")
 
 
 def test_worker_loop_cost_serializes_executions():
@@ -145,7 +147,7 @@ def test_worker_crash_rehosts_components_and_settles_in_flight():
     results = kernel.run_until_complete(kernel.gather(tasks), timeout=600)
     assert results == [n + 1 for n in range(40)]
     kernel.run(until=kernel.now + 5.0)
-    assert app.unsettled_call_ids() == []
+    assert app.stats("calls")["unsettled"] == []
     assert app.workers_failed == [victim]
     survivors = {
         app.worker_of(name)
@@ -170,7 +172,7 @@ def test_graceful_remove_drains_and_hands_off():
         n + 1 for n in range(10, 20)
     ]
     kernel.run(until=kernel.now + 5.0)
-    assert app.unsettled_call_ids() == []
+    assert app.stats("calls")["unsettled"] == []
 
 
 def test_add_worker_migrates_ring_share():
@@ -186,7 +188,7 @@ def test_add_worker_migrates_ring_share():
         n + 1 for n in range(10, 30)
     ]
     kernel.run(until=kernel.now + 5.0)
-    assert app.unsettled_call_ids() == []
+    assert app.stats("calls")["unsettled"] == []
 
 
 # ----------------------------------------------------------------------
@@ -214,7 +216,7 @@ def test_mid_workload_worker_kill_settles_exactly_once(mode, tmp_path):
     app.kill_worker("w0")
     kernel.run_until_complete(kernel.gather(tasks), timeout=600)
     kernel.run(until=kernel.now + 5.0)
-    assert app.unsettled_call_ids() == []
+    assert app.stats("calls")["unsettled"] == []
     totals = [
         app.run_call(actor_proxy("Counter", f"c{cid}"), "get")
         for cid in range(counters)

@@ -95,9 +95,9 @@ def readd_components(app):
 
 def drain(app, max_wait=180.0):
     deadline = app.kernel.now + max_wait
-    while app.unsettled_call_ids() and app.kernel.now < deadline:
+    while app.stats("calls")["unsettled"] and app.kernel.now < deadline:
         app.kernel.run(until=app.kernel.now + 1.0)
-    return app.unsettled_call_ids()
+    return app.stats("calls")["unsettled"]
 
 
 def total_commits(app):
@@ -122,7 +122,7 @@ def test_reopen_settles_all_in_flight_calls_exactly_once(mode, tmp_path):
         kernel.spawn(drive(wid), client.process, name=f"wf{wid}")
     # Crash mid-workflow: some chains have landed, none have finished.
     kernel.run(until=kernel.now + 0.05)
-    in_flight = app.unsettled_call_ids()
+    in_flight = app.stats("calls")["unsettled"]
     assert in_flight  # the crash interrupted real work
 
     app2 = app.reopen()
@@ -253,7 +253,7 @@ def test_legacy_json_journal_replays_under_binary_codec(tmp_path):
     for wid in range(workflows):
         kernel.spawn(drive(wid), client.process, name=f"wf{wid}")
     kernel.run(until=kernel.now + 0.02)
-    assert app.unsettled_call_ids()  # crashed mid-workflow
+    assert app.stats("calls")["unsettled"]  # crashed mid-workflow
     app.shutdown()
 
     journal = tmp_path / "durable" / "app.journal"

@@ -209,7 +209,7 @@ def test_breaker_diverts_to_dead_letters_and_replays_exactly_once():
         for n in range(2)
     ]
     kernel.run(until=kernel.now + 3.0)
-    stats = app.overload_stats()
+    stats = app.stats("overload")
     assert stats["dead_letter_depth"] == 2
     assert stats["diverted"] == 2
     assert stats["breakers_open"] == 1
@@ -230,7 +230,7 @@ def test_breaker_diverts_to_dead_letters_and_replays_exactly_once():
     results = kernel.run_until_complete(kernel.gather(parked_tasks), timeout=120.0)
     assert sorted(results) == ["sent:job0", "sent:job1"]
     assert Flaky.executions == {"job0": 1, "job1": 1}
-    stats = app.overload_stats()
+    stats = app.stats("overload")
     assert stats["dead_letter_depth"] == 0
     assert stats["dead_letters_replayed"] == 2
     assert stats["breakers_closed"] == 1
@@ -265,7 +265,7 @@ def test_halfopen_concurrent_arrivals_admit_one_probe_end_to_end():
         for n in range(3)
     ]
     kernel.run_until_complete(tasks[0], timeout=30.0)
-    stats = app.overload_stats()
+    stats = app.stats("overload")
     assert stats["dead_letter_depth"] == 2
     assert stats["breakers_closed"] == 1  # the probe's success closed it
     summary = app.redeliver_dead_letters()
@@ -302,7 +302,7 @@ def test_replay_of_settled_call_is_deduped():
         parked_by="test",
     )
     run(kernel, app.park_dead_letter(letter, client.member_id), client.process)
-    assert app.overload_stats()["dead_letter_depth"] == 1
+    assert app.stats("overload")["dead_letter_depth"] == 1
 
     summary = app.redeliver_dead_letters()
     assert summary["skipped_settled"] == 1
@@ -310,7 +310,7 @@ def test_replay_of_settled_call_is_deduped():
     kernel.run(until=kernel.now + 2.0)
     # No double execution: the settled outcome is untouched.
     assert app.run_call(ref, "get") == 41
-    assert app.overload_stats()["dead_letter_depth"] == 0
+    assert app.stats("overload")["dead_letter_depth"] == 0
 
 
 # ----------------------------------------------------------------------
@@ -346,13 +346,13 @@ def test_poison_pill_parks_at_redelivery_limit_then_replays():
     # Supervisor loop: restart the victim whenever it dies, until the
     # reconciler gives up on the request and parks it.
     deadline = kernel.now + 120.0
-    while app.overload_stats()["dead_letter_depth"] == 0:
+    while app.stats("overload")["dead_letter_depth"] == 0:
         assert kernel.now < deadline, "poison request never parked"
         if not app.components["victim"].alive:
             app.restart_component("victim")
         kernel.run(until=kernel.now + 0.5)
 
-    [letter] = app.overload_stats()["dead_letters"]
+    [letter] = app.stats("overload")["dead_letters"]
     assert letter["reason"] == "redelivery_limit"
     assert letter["attempts"] == 2
     assert len(letter["failure_history"]) == 3  # two copies + the verdict
@@ -367,9 +367,9 @@ def test_poison_pill_parks_at_redelivery_limit_then_replays():
     assert summary["replayed"] == 1
     assert kernel.run_until_complete(task, timeout=120.0) == "done:job"
     assert Poison.executions == {"job": 1}
-    assert app.overload_stats()["dead_letter_depth"] == 0
+    assert app.stats("overload")["dead_letter_depth"] == 0
     kernel.run(until=kernel.now + 5.0)
-    assert app.unsettled_call_ids() == []
+    assert app.stats("calls")["unsettled"] == []
 
 
 # ----------------------------------------------------------------------
@@ -390,7 +390,7 @@ def test_unplaced_call_is_backoff_paced_until_a_host_joins():
     )
     kernel.run(until=kernel.now + 2.0)
     assert not task.done()
-    stats = app.overload_stats()
+    stats = app.stats("overload")
     assert stats["retries_spent"] >= 1  # paced by the budget, not a constant
 
     app.add_component("w1", (name,))

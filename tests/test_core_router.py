@@ -63,7 +63,7 @@ def test_fan_in_coalesces_into_batched_round_trips():
     round_trips = app.broker.produce_count - before
     # 16 requests + 16 responses = 32 records; far fewer round trips.
     assert round_trips < 32 / 2
-    stats = app.transport_stats()
+    stats = app.stats("transport")
     assert stats["largest_batch"] > 1
     kernel.check_no_crashes()
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro.bench import render_table, summary_stats
 from repro.bench.report import format_value, render_series
-from repro.net import HttpEndpoint
+from repro.net import DirectHttpBaseline
 from repro.sim import Kernel, Latency, TraceRecorder
 
 
@@ -109,7 +109,7 @@ def test_format_value():
 
 def test_http_endpoint_round_trip_costs_rtt():
     kernel = Kernel(seed=4)
-    endpoint = HttpEndpoint(kernel, rtt=0.0026, handler=lambda p: p.upper())
+    endpoint = DirectHttpBaseline(kernel, rtt=0.0026, handler=lambda p: p.upper())
 
     async def scenario():
         start = kernel.now
@@ -124,7 +124,7 @@ def test_http_endpoint_round_trip_costs_rtt():
 
 def test_http_endpoint_latency_object():
     kernel = Kernel(seed=5)
-    endpoint = HttpEndpoint(
+    endpoint = DirectHttpBaseline(
         kernel, rtt=Latency.fixed(0.004), handler=lambda p: p
     )
 

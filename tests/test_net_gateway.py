@@ -1,0 +1,522 @@
+"""The serving edge, end to end: real sockets against the simulated runtime.
+
+Every test here talks to :class:`repro.net.KarGateway` over an actual TCP
+connection -- hand-written HTTP/1.1 on the client side too, so the wire
+format (status lines, headers, keep-alive, Retry-After) is asserted rather
+than assumed. The suite covers the full sidecar surface (calls, tells,
+state, reminders, system views), protocol-level rejections, the
+exception-to-status mapping table, exactly-once settlement across a
+mid-request worker kill on the sqlite backend, and the deprecation shims
+left behind by the unified ``app.stats()`` redesign.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from helpers import Echo, Latch, PersistentLatch, make_app
+from repro.core import (
+    Actor,
+    ActorMethodError,
+    BreakerOpenError,
+    InvocationCancelled,
+    KarApplication,
+    KarConfig,
+    KarError,
+    NoPlacementError,
+    UnknownActorTypeError,
+)
+from repro.core.overload import BackoffPolicy
+from repro.kvstore.errors import FencedClientError
+from repro.mq.errors import StaleLeaseError, StaleRouteError
+from repro.net import ERROR_STATUS, KarGateway, map_error
+from repro.persist import PersistenceConfig
+from repro.sim import Kernel
+from repro.sim.kernel import TaskKilled
+
+
+# ----------------------------------------------------------------------
+# tiny raw HTTP client (the tests assert the wire format itself)
+# ----------------------------------------------------------------------
+
+
+async def send_raw(host: str, port: int, data: bytes):
+    """One connection, one raw payload, read to EOF."""
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(data)
+    await writer.drain()
+    response = await reader.read()
+    writer.close()
+    return response
+
+
+def parse_response(data: bytes):
+    head, _, body = data.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ")[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    payload = json.loads(body) if body else None
+    return status, payload, headers
+
+
+async def request(host, port, method, path, payload=None, body=None):
+    if body is None:
+        body = b"" if payload is None else json.dumps(payload).encode()
+    head = (
+        f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+        f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+    )
+    return parse_response(await send_raw(host, port, head.encode() + body))
+
+
+class KeepAliveClient:
+    """A persistent connection issuing sequential requests."""
+
+    def __init__(self, host, port):
+        self.host = host
+        self.port = port
+        self.reader = None
+        self.writer = None
+
+    async def __aenter__(self):
+        self.reader, self.writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        return self
+
+    async def __aexit__(self, *exc):
+        self.writer.close()
+
+    async def request(self, method, path, payload=None):
+        body = b"" if payload is None else json.dumps(payload).encode()
+        head = (
+            f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        )
+        self.writer.write(head.encode() + body)
+        await self.writer.drain()
+        raw_head = await self.reader.readuntil(b"\r\n\r\n")
+        status, _, headers = parse_response(raw_head + b"")
+        length = int(headers.get("content-length", "0"))
+        body = await self.reader.readexactly(length)
+        return status, json.loads(body) if body else None, headers
+
+
+# ----------------------------------------------------------------------
+# fixtures
+# ----------------------------------------------------------------------
+
+
+class SlowCounter(Actor):
+    """Exactly-once increments with a long execution window.
+
+    ``incr`` marks itself started, sleeps (simulated) long enough for a
+    test to kill its hosting component mid-execution, then commits via the
+    read-then-tail-write discipline -- so no matter how many times retry
+    orchestration re-runs the method, the increment lands exactly once.
+    """
+
+    async def incr(self, ctx, amount):
+        await ctx.state.set("started", True)
+        # Long in *simulated* seconds so the polling test reliably catches
+        # the method mid-execution; the pump burns through it in well under
+        # a wall-clock second.
+        await ctx.sleep(300.0)
+        total = await ctx.state.get("total", 0)
+        return ctx.tail_call(None, "commit", total + amount)
+
+    async def commit(self, ctx, new_total):
+        await ctx.state.set("total", new_total)
+        return new_total
+
+    async def total(self, ctx):
+        return await ctx.state.get("total", 0)
+
+
+def build_app(actor_classes=(Latch, PersistentLatch, Echo), config=None, **overrides):
+    kernel, app = make_app(seed=7, config=config, **overrides)
+    names = tuple(app.register_actor(cls) for cls in actor_classes)
+    app.add_component("w1", names)
+    app.add_component("w2", names)
+    app.settle()
+    return kernel, app
+
+
+async def serve(app):
+    gateway = KarGateway(app, port=0)
+    host, port = await gateway.start()
+    return gateway, host, port
+
+
+# ----------------------------------------------------------------------
+# the sidecar surface over a real socket
+# ----------------------------------------------------------------------
+
+
+def test_call_state_reminder_roundtrip_over_socket():
+    kernel, app = build_app()
+
+    async def scenario():
+        gateway, host, port = await serve(app)
+        try:
+            status, health, _ = await request(host, port, "GET", "/system/health")
+            assert status == 200 and health["status"] == "ok" and health["ready"]
+
+            status, body, _ = await request(
+                host, port, "POST", "/actor/Latch/l1/call/set", {"args": [41]}
+            )
+            assert status == 200
+            status, body, _ = await request(
+                host, port, "POST", "/actor/Latch/l1/call/get"
+            )
+            assert (status, body) == (200, {"value": 41})
+
+            # Tells are accepted before execution.
+            status, body, _ = await request(
+                host, port, "POST", "/actor/Latch/l1/tell/set", {"args": [5]}
+            )
+            assert (status, body) == (202, {"status": "accepted"})
+
+            # State CRUD reads what the actor persisted.
+            status, _, _ = await request(
+                host, port, "POST", "/actor/PersistentLatch/p/call/set", {"args": [7]}
+            )
+            assert status == 200
+            status, body, _ = await request(
+                host, port, "GET", "/actor/PersistentLatch/p/state/v"
+            )
+            assert (status, body) == (200, {"value": 7})
+            status, body, _ = await request(
+                host, port, "GET", "/actor/PersistentLatch/p/state"
+            )
+            assert body == {"state": {"v": 7}}
+            status, _, _ = await request(
+                host, port, "PUT", "/actor/PersistentLatch/p/state/note",
+                {"value": {"x": 1}},
+            )
+            assert status == 200
+            status, body, _ = await request(
+                host, port, "GET", "/actor/PersistentLatch/p/state/note"
+            )
+            assert body == {"value": {"x": 1}}
+            status, _, _ = await request(
+                host, port, "DELETE", "/actor/PersistentLatch/p/state/note"
+            )
+            assert status == 200
+            status, body, _ = await request(
+                host, port, "DELETE", "/actor/PersistentLatch/p/state/note"
+            )
+            assert (status, body["error"]["code"]) == (404, "no_such_key")
+
+            # A reminder scheduled over HTTP fires inside the simulation.
+            status, _, _ = await request(
+                host, port, "PUT", "/actor/Latch/l1/reminders/r1",
+                {"method": "set", "delay": 0.3, "args": [99]},
+            )
+            assert status == 201
+            status, body, _ = await request(
+                host, port, "GET", "/actor/Latch/l1/reminders"
+            )
+            assert status == 200 and [r["id"] for r in body["reminders"]] == ["r1"]
+            deadline = asyncio.get_running_loop().time() + 10.0
+            value = None
+            while asyncio.get_running_loop().time() < deadline:
+                await asyncio.sleep(0.02)  # idle pump advances simulated time
+                _, body, _ = await request(
+                    host, port, "POST", "/actor/Latch/l1/call/get"
+                )
+                value = body["value"]
+                if value == 99:
+                    break
+            assert value == 99
+            status, body, _ = await request(
+                host, port, "DELETE", "/actor/Latch/l1/reminders/r1"
+            )
+            assert (status, body["error"]["code"]) == (404, "no_such_reminder")
+
+            # The observability plane saw all of it, on both surfaces.
+            status, body, _ = await request(
+                host, port, "GET", "/system/stats/gateway"
+            )
+            assert status == 200
+            snapshot = body["stats"]
+            assert snapshot["requests_total"] > 10
+            calls_route = snapshot["routes"]["POST /actor/{type}/{id}/call/{method}"]
+            assert calls_route["requests"] >= 4
+            assert calls_route["latency"]["count"] >= 4
+            assert app.stats("gateway")["attached"]
+            # The stats request records itself after snapshotting, so the
+            # live tree is at least as far along as the HTTP snapshot.
+            assert app.stats("gateway")["requests_total"] >= snapshot["requests_total"]
+
+            status, body, _ = await request(host, port, "GET", "/system/actors")
+            assert sorted(body["actor_types"]) == ["Echo", "Latch", "PersistentLatch"]
+        finally:
+            await gateway.stop()
+
+    asyncio.run(scenario())
+    kernel.check_no_crashes()
+
+
+def test_concurrent_requests_interleave_across_connections():
+    kernel, app = build_app()
+
+    async def worker(host, port, lane):
+        async with KeepAliveClient(host, port) as client:
+            results = []
+            for n in range(5):
+                status, _, _ = await client.request(
+                    "POST", f"/actor/Latch/lane{lane}/call/set", {"args": [lane * 100 + n]}
+                )
+                assert status == 200
+                status, body, _ = await client.request(
+                    "POST", f"/actor/Latch/lane{lane}/call/get"
+                )
+                assert status == 200
+                results.append(body["value"])
+            return results
+
+    async def scenario():
+        gateway, host, port = await serve(app)
+        try:
+            lanes = await asyncio.gather(
+                *(worker(host, port, lane) for lane in range(8))
+            )
+        finally:
+            await gateway.stop()
+        # Each keep-alive connection saw its own writes in order, even
+        # while seven other connections interleaved on the same runtime.
+        for lane, results in enumerate(lanes):
+            assert results == [lane * 100 + n for n in range(5)]
+
+    asyncio.run(scenario())
+    kernel.check_no_crashes()
+    assert app.stats("calls")["unsettled"] == []
+
+
+# ----------------------------------------------------------------------
+# exactly-once across a mid-request worker kill (sqlite backend)
+# ----------------------------------------------------------------------
+
+
+def test_exactly_once_settlement_across_mid_request_kill_sqlite(tmp_path):
+    config = KarConfig.fast_test().with_overrides(
+        persistence=PersistenceConfig(mode="sqlite", root=str(tmp_path / "durable"))
+    )
+    kernel = Kernel(seed=13)
+    app = KarApplication.fresh(kernel, config, name="edge")
+    app.register_actor(SlowCounter)
+    app.add_component("host", ("SlowCounter",))
+    app.settle()
+
+    async def scenario():
+        gateway, host, port = await serve(app)
+        try:
+            call = asyncio.get_running_loop().create_task(
+                request(
+                    host, port, "POST", "/actor/SlowCounter/c/call/incr",
+                    {"args": [5]},
+                )
+            )
+            # Wait until the method is provably mid-execution (it has
+            # persisted the "started" flag but not yet committed).
+            while True:
+                _, body, _ = await request(
+                    host, port, "GET", "/actor/SlowCounter/c/state"
+                )
+                if body["state"].get("started"):
+                    break
+                await asyncio.sleep(0.01)
+            assert "total" not in body["state"]
+
+            # Fail-stop the hosting component under the in-flight request,
+            # then bring a replacement up; retry orchestration must re-run
+            # the method and settle the original HTTP call exactly once.
+            app.kill_component("host")
+            app.restart_component("host")
+
+            status, body, _ = await call
+            assert (status, body) == (200, {"value": 5})
+
+            status, body, _ = await request(
+                host, port, "POST", "/actor/SlowCounter/c/call/total"
+            )
+            assert (status, body) == (200, {"value": 5})  # once, not twice
+        finally:
+            await gateway.stop()
+
+    asyncio.run(scenario())
+    kernel.check_no_crashes()
+    assert app.stats("calls")["unsettled"] == []
+
+
+# ----------------------------------------------------------------------
+# protocol-level rejections
+# ----------------------------------------------------------------------
+
+
+def test_malformed_requests_are_rejected():
+    kernel, app = build_app()
+
+    async def scenario():
+        gateway, host, port = await serve(app)
+        try:
+            status, body, _ = await request(
+                host, port, "POST", "/actor/Latch/l/call/set", body=b"{nope"
+            )
+            assert (status, body["error"]["code"]) == (400, "bad_json")
+
+            status, body, _ = await request(
+                host, port, "POST", "/actor/Latch/l/call/set", {"args": "not-a-list"}
+            )
+            assert (status, body["error"]["code"]) == (400, "bad_request")
+
+            status, body, _ = await request(host, port, "GET", "/no/such/route")
+            assert (status, body["error"]["code"]) == (404, "unknown_route")
+
+            status, body, _ = await request(
+                host, port, "GET", "/system/stats/bogus"
+            )
+            assert (status, body["error"]["code"]) == (404, "unknown_family")
+
+            status, body, _ = await request(
+                host, port, "POST", "/actor/Latch/l/call/set",
+                body=b"x" * (gateway.max_body + 1),
+            )
+            assert (status, body["error"]["code"]) == (413, "body_too_large")
+
+            raw = await send_raw(host, port, b"GARBAGE\r\n\r\n")
+            status, body, headers = parse_response(raw)
+            assert (status, body["error"]["code"]) == (400, "bad_request")
+            assert headers["connection"] == "close"
+        finally:
+            await gateway.stop()
+
+    asyncio.run(scenario())
+    kernel.check_no_crashes()
+
+
+# ----------------------------------------------------------------------
+# error mapping
+# ----------------------------------------------------------------------
+
+
+def test_error_mapping_table():
+    kernel, app = make_app()
+    policy = BackoffPolicy(
+        app.config.retry_backoff_base, app.config.retry_backoff_cap
+    )
+    transient = policy.bound(1)
+    cases = [
+        (UnknownActorTypeError("Nope"), 404, "unknown_actor_type", None),
+        (BreakerOpenError("T", "m", 2.5), 503, "breaker_open", 2.5),
+        (NoPlacementError("nowhere"), 503, "no_placement", transient),
+        (StaleRouteError("moved"), 503, "stale_route", transient),
+        (FencedClientError("fenced"), 409, "fenced", None),
+        (StaleLeaseError("stale"), 409, "fenced", None),
+        (ActorMethodError("boom"), 500, "actor_error", None),
+        (InvocationCancelled("gone"), 500, "invocation_cancelled", None),
+        (TaskKilled("host"), 503, "component_lost", None),
+        (KarError("generic"), 500, "kar_error", None),
+        (ValueError("unmapped"), 500, "internal", None),
+    ]
+    for error, expected_status, expected_code, expected_retry in cases:
+        status, code, message, retry_after = map_error(error, app)
+        assert (status, code) == (expected_status, expected_code), error
+        assert retry_after == expected_retry, error
+        assert message  # the envelope always explains itself
+
+    # Subclasses must precede their bases in the table, or the wrong row
+    # would shadow them.
+    for index, (exc_type, _, _) in enumerate(ERROR_STATUS):
+        for later_type, _, _ in ERROR_STATUS[index + 1 :]:
+            assert not issubclass(later_type, exc_type) or later_type is exc_type
+
+
+def test_breaker_open_maps_to_503_with_retry_after_header():
+    kernel, app = build_app(breaker_threshold=3, breaker_cooldown=300.0)
+
+    async def scenario():
+        gateway, host, port = await serve(app)
+        try:
+            # Three propagated application failures trip the breaker.
+            for n in range(3):
+                status, body, _ = await request(
+                    host, port, "POST", "/actor/Echo/e/call/fail_with",
+                    {"args": [f"boom{n}"]},
+                )
+                assert (status, body["error"]["code"]) == (500, "actor_error")
+
+            status, body, headers = await request(
+                host, port, "POST", "/actor/Echo/e/call/fail_with", {"args": ["x"]}
+            )
+            assert (status, body["error"]["code"]) == (503, "breaker_open")
+            assert int(headers["retry-after"]) >= 1
+
+            # Admission is per (actor type, method): other methods still run.
+            status, body, _ = await request(
+                host, port, "POST", "/actor/Echo/e/call/echo", {"args": ["ok"]}
+            )
+            assert (status, body) == (200, {"value": "ok"})
+
+            # Nothing parked: the open breaker rejected at the edge instead
+            # of diverting an unsettleable call to the dead-letter lot.
+            assert app.stats("overload")["dead_letter_depth"] == 0
+        finally:
+            await gateway.stop()
+
+    asyncio.run(scenario())
+    kernel.check_no_crashes()
+
+
+def test_unknown_actor_type_is_rejected_at_admission():
+    kernel, app = build_app()
+
+    async def scenario():
+        gateway, host, port = await serve(app)
+        try:
+            status, body, _ = await request(
+                host, port, "POST", "/actor/Ghost/g/call/get"
+            )
+            assert (status, body["error"]["code"]) == (404, "unknown_actor_type")
+        finally:
+            await gateway.stop()
+
+    asyncio.run(scenario())
+    # The typo never reached the runtime: no placement entry was minted.
+    assert app.store.backend.get("placement:Ghost:g") is None
+
+
+# ----------------------------------------------------------------------
+# the unified stats() redesign
+# ----------------------------------------------------------------------
+
+
+def test_deprecated_stats_shims_warn_and_agree():
+    kernel, app = build_app()
+    shims = [
+        ("transport_stats", "transport"),
+        ("store_stats", "store"),
+        ("overload_stats", "overload"),
+        ("persistence_stats", "persistence"),
+        ("placement_stats", "placement"),
+    ]
+    for old_name, family in shims:
+        with pytest.warns(DeprecationWarning, match=old_name):
+            legacy = getattr(app, old_name)()
+        assert legacy == app.stats(family)
+    with pytest.warns(DeprecationWarning, match="unsettled_call_ids"):
+        legacy = app.unsettled_call_ids()
+    assert legacy == app.stats("calls")["unsettled"]
+
+
+def test_stats_tree_rejects_unknown_family():
+    kernel, app = build_app()
+    with pytest.raises(KeyError):
+        app.stats("nope")

@@ -137,7 +137,7 @@ def test_control_loop_publishes_load_plane_through_store(
     assert loads["comp1"]["calls_per_s"] > 0
     assert loads["comp1"]["worker"] == app.worker_of("comp1")
     # The same snapshot is on the unified evidence surface.
-    assert app.placement_stats()["load"] == dict(snapshot)
+    assert app.stats("placement")["load"] == dict(snapshot)
     kernel.run_until_complete(kernel.gather(tasks), timeout=600)
 
 
@@ -170,7 +170,7 @@ def test_hot_component_migrates_off_busiest_worker():
     # The two hot components no longer share a worker.
     assert len({app.worker_of(name) for name in hot_comps}) == 2
     assert totals_of(app, ids) == {actor_id: 25 for actor_id in ids}
-    assert app.unsettled_call_ids() == []
+    assert app.stats("calls")["unsettled"] == []
     kernel.check_no_crashes()
 
 
@@ -199,7 +199,7 @@ def test_hot_component_splits_and_merges_back_exactly_once():
     assert app.components["comp2"].alive
     # Exactly once across split + merge: every bump landed exactly once.
     assert totals_of(app, ids) == {actor_id: 25 for actor_id in ids}
-    assert app.unsettled_call_ids() == []
+    assert app.stats("calls")["unsettled"] == []
     kernel.check_no_crashes()
 
 
@@ -231,7 +231,7 @@ def test_wedged_worker_loses_partitions_within_lease_ttl():
     for comp in hosted:
         assert app.worker_of(comp) != victim_id
     assert totals_of(app, ids) == {actor_id: 3 for actor_id in ids}
-    assert app.unsettled_call_ids() == []
+    assert app.stats("calls")["unsettled"] == []
 
 
 def test_healthy_cluster_never_expires_leases():

@@ -120,7 +120,7 @@ def test_handoff_while_retry_parked_settles_exactly_once():
     kernel.run(until=kernel.now + 5.0)
     assert app.trace.count("request.parked") >= 2
     assert app.trace.count("request.unparked") >= 1
-    assert app.unsettled_call_ids() == []
+    assert app.stats("calls")["unsettled"] == []
 
 
 # ----------------------------------------------------------------------
@@ -229,7 +229,7 @@ def run_leave_scenario(graceful: bool):
         app.run_call(actor_proxy("Counter", f"c{cid}"), "get")
         for cid in range(counters)
     )
-    unsettled = tuple(app.unsettled_call_ids())
+    unsettled = tuple(app.stats("calls")["unsettled"])
     expected = (bumps,) * counters
     return totals, unsettled, expected
 
@@ -299,7 +299,7 @@ def test_skewed_burst_splits_midflight_and_settles_exactly_once(
         for actor_id in ids
     }
     assert totals == {actor_id: bumps for actor_id in ids}
-    assert app.unsettled_call_ids() == []
+    assert app.stats("calls")["unsettled"] == []
     kernel.check_no_crashes()
     app.shutdown()
 
@@ -346,4 +346,4 @@ def test_migration_target_killed_mid_drain_lands_on_live_worker():
     # The in-flight call settles exactly once on the re-hosted component.
     assert kernel.run_until_complete(task, timeout=300.0) == 2
     kernel.run(until=kernel.now + 5.0)
-    assert app.unsettled_call_ids() == []
+    assert app.stats("calls")["unsettled"] == []
